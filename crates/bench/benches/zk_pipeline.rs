@@ -1,0 +1,87 @@
+//! Criterion benches over the ZK pipeline — the same quantities as
+//! Figs. 5–7 at statistically-sampled, reduced sizes.
+//!
+//! ```text
+//! cargo bench -p zkdet-bench --bench zk_pipeline
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zkdet_bench::{bench_rng, enc_instance, synthetic_circuit};
+use zkdet_circuits::exchange::KeyNegotiationCircuit;
+use zkdet_crypto::commitment::CommitmentScheme;
+use zkdet_field::{Field, Fr};
+use zkdet_kzg::Srs;
+use zkdet_plonk::Plonk;
+
+/// Fig. 5 at bench scale: SRS + preprocessing cost vs. constraint count.
+fn bench_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_setup");
+    group.sample_size(10);
+    for log_n in [10u32, 12] {
+        let n = 1usize << log_n;
+        group.bench_with_input(BenchmarkId::new("srs", n), &n, |b, &n| {
+            let mut rng = bench_rng();
+            b.iter(|| Srs::universal_setup(n + 8, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("preprocess", n), &n, |b, &n| {
+            let mut rng = bench_rng();
+            let srs = Srs::universal_setup(n + 8, &mut rng);
+            let circuit = synthetic_circuit(n - 16, &mut rng);
+            b.iter(|| Plonk::preprocess(&srs, &circuit).expect("preprocess"));
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 6 at bench scale: proving time for π_e and π_k.
+fn bench_proving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_proving");
+    group.sample_size(10);
+    for blocks in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("pi_e", blocks), &blocks, |b, &blocks| {
+            let mut rng = bench_rng();
+            let inst = enc_instance(blocks, &mut rng);
+            let srs = Srs::universal_setup(inst.circuit.rows() + 8, &mut rng);
+            let (pk, _) = Plonk::preprocess(&srs, &inst.circuit).expect("preprocess");
+            b.iter(|| Plonk::prove(&pk, &inst.circuit, &mut rng).expect("prove"));
+        });
+    }
+    group.bench_function("pi_k", |b| {
+        let mut rng = bench_rng();
+        let k = Fr::random(&mut rng);
+        let k_v = Fr::random(&mut rng);
+        let (cm, o) = CommitmentScheme::commit_scalar(k, &mut rng);
+        let circuit = KeyNegotiationCircuit.synthesize(k, k_v, &cm, &o);
+        let srs = Srs::universal_setup(circuit.rows() + 8, &mut rng);
+        let (pk, _) = Plonk::preprocess(&srs, &circuit).expect("preprocess");
+        b.iter(|| Plonk::prove(&pk, &circuit, &mut rng).expect("prove"));
+    });
+    group.finish();
+}
+
+/// Fig. 7 at bench scale: verification is constant-time in circuit size.
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_verify");
+    group.sample_size(20);
+    for blocks in [8usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("zkdet_verify", blocks),
+            &blocks,
+            |b, &blocks| {
+                let mut rng = bench_rng();
+                let inst = enc_instance(blocks, &mut rng);
+                let srs = Srs::universal_setup(inst.circuit.rows() + 8, &mut rng);
+                let (pk, vk) = Plonk::preprocess(&srs, &inst.circuit).expect("preprocess");
+                let proof = Plonk::prove(&pk, &inst.circuit, &mut rng).expect("prove");
+                let publics = inst.shape.public_inputs(&inst.ciphertext, &inst.commitment);
+                b.iter(|| {
+                    assert!(Plonk::verify(&vk, &publics, &proof));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_setup, bench_proving, bench_verify);
+criterion_main!(benches);

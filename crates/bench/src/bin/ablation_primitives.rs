@@ -1,0 +1,68 @@
+//! **Ablation: circuit-friendly primitives (§IV-C).**
+//!
+//! The paper replaces AES/SHA-256 with MiMC/Poseidon because their
+//! arithmetic-circuit footprints differ by orders of magnitude. We count
+//! the *actual* constraints our gadgets produce per data block and compare
+//! with the literature's per-block counts for the traditional primitives
+//! (AES-128 ≈ 6,400 constraint-relevant AND gates per 16-byte block ⇒
+//! ≈ 12,800 per 31-byte field element; SHA-256 ≈ 25,000 constraints per
+//! 64-byte compression ⇒ ≈ 27k R1CS in common toolchains; Pedersen ≈ 8×
+//! Poseidon per the Poseidon paper).
+//!
+//! ```text
+//! cargo run --release -p zkdet-bench --bin ablation_primitives
+//! ```
+
+use zkdet_bench::bench_rng;
+use zkdet_circuits::gadgets::{mimc_ctr_encrypt, poseidon_hash_two};
+use zkdet_field::{Field, Fr};
+use zkdet_plonk::CircuitBuilder;
+
+fn main() {
+    let mut rng = bench_rng();
+    let _ = &mut rng;
+
+    // Measure MiMC-CTR gates per block (marginal cost, excluding builder
+    // overhead).
+    let count_ctr = |blocks: usize| {
+        let mut b = CircuitBuilder::new();
+        let k = b.alloc(Fr::ONE);
+        let nonce = b.alloc(Fr::ZERO);
+        let m: Vec<_> = (0..blocks).map(|i| b.alloc(Fr::from(i as u64))).collect();
+        let _ = mimc_ctr_encrypt(&mut b, k, nonce, &m);
+        b.gate_count()
+    };
+    let mimc_per_block = count_ctr(9) - count_ctr(8);
+
+    // Poseidon 2-to-1 compression gates.
+    let poseidon_gates = {
+        let mut b = CircuitBuilder::new();
+        let x = b.alloc(Fr::ONE);
+        let y = b.alloc(Fr::from(2u64));
+        let base = b.gate_count();
+        let _ = poseidon_hash_two(&mut b, x, y);
+        b.gate_count() - base
+    };
+
+    println!("Ablation — circuit-friendly primitives (§IV-C)");
+    println!("{:<34} {:>14}", "primitive", "constraints");
+    println!("{:<34} {:>14}", "MiMC-CTR (ours, per block)", mimc_per_block);
+    println!("{:<34} {:>14}", "AES-128 (literature, per block)", "~12,800");
+    println!(
+        "{:<34} {:>14}",
+        "  ⇒ MiMC saving",
+        format!("{:.0}×", 12_800.0 / mimc_per_block as f64)
+    );
+    println!("{:<34} {:>14}", "Poseidon 2-to-1 (ours)", poseidon_gates);
+    println!("{:<34} {:>14}", "SHA-256 (literature, per block)", "~27,000");
+    println!("{:<34} {:>14}", "Pedersen (literature)", "~8× Poseidon");
+    println!(
+        "{:<34} {:>14}",
+        "  ⇒ Poseidon saving vs SHA-256",
+        format!("{:.0}×", 27_000.0 / poseidon_gates as f64)
+    );
+    println!();
+    println!("paper reference (§IV-C): MiMC needs only 82 multiplications per");
+    println!("block; Poseidon ≈ 1/8 the constraints of Pedersen — an AES/SHA");
+    println!("instantiation at 1,000 blocks would exceed a million constraints.");
+}

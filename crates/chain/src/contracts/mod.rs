@@ -1,0 +1,16 @@
+//! Native contract implementations (ERC-721 data NFTs, clock auctions, and
+//! the on-chain PLONK verifier).
+//!
+//! Contracts are plain Rust state machines metered through [`crate::gas`];
+//! the [`crate::Blockchain`] wraps every call in a transaction and collects
+//! gas + events into receipts, which is all Table II measures.
+
+pub(crate) mod auction;
+pub(crate) mod fairswap;
+pub(crate) mod nft;
+pub(crate) mod verifier;
+
+pub use fairswap::{FairSwapContract, Swap, SwapId, SwapState, COMPLAINT_WINDOW_BLOCKS};
+pub use auction::{AuctionContract, Listing, ListingId, ListingState, REFUND_TIMEOUT_BLOCKS};
+pub use nft::{NftContract, TokenMeta, TransformKind};
+pub use verifier::VerifierContract;

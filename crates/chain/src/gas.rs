@@ -1,0 +1,154 @@
+//! The gas schedule and metering.
+//!
+//! Costs follow the Ethereum yellow-paper / Istanbul values for the
+//! operation classes our native contracts perform, so Table II's absolute
+//! numbers land in the right range and its ordering (deployments ≫ mint >
+//! burn > transfer) is reproduced faithfully.
+
+/// Gas amounts.
+pub type Gas = u64;
+
+/// Base cost of any transaction.
+pub const TX_BASE: Gas = 21_000;
+/// Cost of the CREATE operation (contract deployment).
+pub const CREATE: Gas = 32_000;
+/// Code-deposit cost per byte of deployed contract code.
+pub const CODE_DEPOSIT_PER_BYTE: Gas = 200;
+/// Calldata cost per non-zero byte.
+pub const CALLDATA_NONZERO_BYTE: Gas = 16;
+/// Storing a value into a fresh (zero) slot.
+pub const SSTORE_SET: Gas = 20_000;
+/// Updating a non-zero slot.
+pub const SSTORE_UPDATE: Gas = 5_000;
+/// Clearing a slot (before the refund the paper-era schedule granted).
+pub const SSTORE_CLEAR: Gas = 5_000;
+/// Refund for clearing a slot (capped at half the tx gas at settlement;
+/// our contracts never get near the cap).
+pub const SSTORE_CLEAR_REFUND: Gas = 4_800;
+/// Reading a storage slot.
+pub const SLOAD: Gas = 800;
+/// LOG base cost.
+pub const LOG_BASE: Gas = 375;
+/// LOG cost per topic.
+pub const LOG_TOPIC: Gas = 375;
+/// LOG cost per payload byte.
+pub const LOG_DATA_BYTE: Gas = 8;
+/// BN254 pairing-check precompile: base.
+pub const PAIRING_BASE: Gas = 45_000;
+/// BN254 pairing-check precompile: per pairing.
+pub const PAIRING_PER_POINT: Gas = 34_000;
+/// BN254 scalar-multiplication precompile.
+pub const ECMUL: Gas = 6_000;
+/// BN254 point-addition precompile.
+pub const ECADD: Gas = 150;
+/// Keccak/Poseidon-class hash cost per invocation (contract-side hashing).
+pub const HASH_OP: Gas = 60;
+
+/// Accumulates gas for one transaction.
+#[derive(Debug, Clone, Default)]
+pub struct GasMeter {
+    used: Gas,
+    refund: Gas,
+}
+
+impl GasMeter {
+    /// Fresh meter charged with the intrinsic transaction cost plus
+    /// calldata.
+    pub fn for_tx(calldata_bytes: usize) -> GasMeter {
+        let mut m = GasMeter::default();
+        m.charge(TX_BASE + calldata_bytes as Gas * CALLDATA_NONZERO_BYTE);
+        m
+    }
+
+    /// Adds raw gas.
+    pub fn charge(&mut self, amount: Gas) {
+        self.used += amount;
+    }
+
+    /// Charges a storage write, distinguishing fresh/updated slots.
+    pub fn sstore(&mut self, fresh: bool) {
+        self.charge(if fresh { SSTORE_SET } else { SSTORE_UPDATE });
+    }
+
+    /// Charges a slot clear and records the refund.
+    pub fn sstore_clear(&mut self) {
+        self.charge(SSTORE_CLEAR);
+        self.refund += SSTORE_CLEAR_REFUND;
+    }
+
+    /// Charges a storage read.
+    pub fn sload(&mut self) {
+        self.charge(SLOAD);
+    }
+
+    /// Charges an event emission.
+    pub fn log(&mut self, topics: usize, data_bytes: usize) {
+        self.charge(LOG_BASE + topics as Gas * LOG_TOPIC + data_bytes as Gas * LOG_DATA_BYTE);
+    }
+
+    /// Charges contract deployment for `code_bytes` of code.
+    pub fn deploy(&mut self, code_bytes: usize) {
+        self.charge(CREATE + code_bytes as Gas * CODE_DEPOSIT_PER_BYTE);
+    }
+
+    /// Charges an on-chain PLONK verification: `pairings` pairing points,
+    /// `muls` scalar multiplications, `adds` point additions.
+    pub fn verify_proof(&mut self, pairings: usize, muls: usize, adds: usize) {
+        self.charge(
+            PAIRING_BASE
+                + pairings as Gas * PAIRING_PER_POINT
+                + muls as Gas * ECMUL
+                + adds as Gas * ECADD,
+        );
+    }
+
+    /// Total gas used after the (EIP-3529-capped) refund.
+    pub fn settle(&self) -> Gas {
+        let cap = self.used / 5;
+        self.used - self.refund.min(cap)
+    }
+
+    /// Gas used before refunds.
+    pub fn used(&self) -> Gas {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_base_is_charged() {
+        let m = GasMeter::for_tx(0);
+        assert_eq!(m.settle(), TX_BASE);
+        let m = GasMeter::for_tx(10);
+        assert_eq!(m.settle(), TX_BASE + 160);
+    }
+
+    #[test]
+    fn refund_is_capped() {
+        let mut m = GasMeter::for_tx(0);
+        for _ in 0..10 {
+            m.sstore_clear();
+        }
+        // Refund may not exceed used/5.
+        assert!(m.settle() >= m.used() - m.used() / 5);
+        assert!(m.settle() < m.used());
+    }
+
+    #[test]
+    fn deployment_dominated_by_code_deposit() {
+        let mut m = GasMeter::for_tx(0);
+        m.deploy(4_900);
+        // 21000 + 32000 + 980000
+        assert_eq!(m.settle(), 1_033_000);
+    }
+
+    #[test]
+    fn verify_cost_is_istanbul_calibrated() {
+        let mut m = GasMeter::default();
+        m.verify_proof(2, 18, 20);
+        assert_eq!(m.settle(), 45_000 + 68_000 + 108_000 + 3_000);
+    }
+}

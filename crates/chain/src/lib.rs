@@ -1,0 +1,34 @@
+//! A deterministic EVM-style blockchain simulator for ZKDET.
+//!
+//! The paper deploys its contracts on the Rinkeby testnet and reports gas
+//! costs (Table II). This crate reproduces the *measurable* behaviour in
+//! process: accounts and balances, transactions with receipts, blocks, an
+//! Ethereum-calibrated [`gas`] schedule, an event log, and three native
+//! "contracts":
+//!
+//! * [`contracts::NftContract`] — the ERC-721 data-token registry with the
+//!   `prevIds[]` provenance field (§III-A/B) and the
+//!   mint/transfer/burn/aggregate/partition/duplicate operations;
+//! * [`contracts::VerifierContract`] — the on-chain PLONK verifier
+//!   (§VI-C2): deployed once per relation, hardcodes the verifying key,
+//!   verifies any number of proofs at `O(1)` cost;
+//! * [`contracts::AuctionContract`] — the clock auction plus *both*
+//!   exchange settlements: the key-secure two-phase protocol of §IV-F and
+//!   the classic ZKCP baseline of §III-C (which leaks the key on-chain —
+//!   exposed via [`contracts::AuctionContract::leaked_keys`] so tests and
+//!   examples can demonstrate the flaw ZKDET fixes).
+//!
+//! Consensus itself is out of scope: the paper (and we) assume a
+//! tamper-resistant, consistent ledger (§IV-A), which a single-process
+//! deterministic simulator provides by construction.
+
+pub mod chain;
+pub mod contracts;
+pub mod gas;
+pub mod state;
+pub mod types;
+
+pub use chain::{Block, Blockchain, ChainError, Event, Receipt};
+pub use contracts::{AuctionContract, NftContract, TokenMeta, TransformKind, VerifierContract};
+pub use gas::{Gas, GasMeter};
+pub use types::{Address, TokenId, Wei};

@@ -1,0 +1,119 @@
+//! World state: account balances and nonces.
+
+use std::collections::HashMap;
+
+use crate::types::{Address, Wei};
+
+/// Errors from balance operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateError {
+    /// Sender lacks the funds for a transfer.
+    InsufficientBalance {
+        /// The account that attempted the payment.
+        from: Address,
+        /// Balance it actually holds.
+        have: Wei,
+        /// Amount it tried to move.
+        need: Wei,
+    },
+}
+
+impl core::fmt::Display for StateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StateError::InsufficientBalance { from, have, need } => {
+                write!(f, "{from} holds {have} wei but needs {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// The mutable account state of the chain.
+#[derive(Debug, Clone, Default)]
+pub struct WorldState {
+    balances: HashMap<Address, Wei>,
+    nonces: HashMap<Address, u64>,
+}
+
+impl WorldState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current balance of an account (zero if unseen).
+    pub fn balance(&self, addr: &Address) -> Wei {
+        self.balances.get(addr).copied().unwrap_or(0)
+    }
+
+    /// Credits an account out of thin air (faucet / genesis allocation).
+    pub fn fund(&mut self, addr: Address, amount: Wei) {
+        *self.balances.entry(addr).or_insert(0) += amount;
+    }
+
+    /// Moves value between accounts.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::InsufficientBalance`] if `from` cannot cover `amount`.
+    pub fn transfer(&mut self, from: Address, to: Address, amount: Wei) -> Result<(), StateError> {
+        let have = self.balance(&from);
+        if have < amount {
+            return Err(StateError::InsufficientBalance {
+                from,
+                have,
+                need: amount,
+            });
+        }
+        *self.balances.entry(from).or_insert(0) -= amount;
+        *self.balances.entry(to).or_insert(0) += amount;
+        Ok(())
+    }
+
+    /// Returns and increments an account's nonce.
+    pub fn next_nonce(&mut self, addr: &Address) -> u64 {
+        let n = self.nonces.entry(*addr).or_insert(0);
+        let out = *n;
+        *n += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fund_and_transfer() {
+        let mut s = WorldState::new();
+        let a = Address::from_seed(1);
+        let b = Address::from_seed(2);
+        s.fund(a, 100);
+        s.transfer(a, b, 60).unwrap();
+        assert_eq!(s.balance(&a), 40);
+        assert_eq!(s.balance(&b), 60);
+    }
+
+    #[test]
+    fn overdraft_rejected() {
+        let mut s = WorldState::new();
+        let a = Address::from_seed(1);
+        let b = Address::from_seed(2);
+        s.fund(a, 10);
+        assert!(matches!(
+            s.transfer(a, b, 11),
+            Err(StateError::InsufficientBalance { .. })
+        ));
+        assert_eq!(s.balance(&a), 10);
+    }
+
+    #[test]
+    fn nonces_increment() {
+        let mut s = WorldState::new();
+        let a = Address::from_seed(1);
+        assert_eq!(s.next_nonce(&a), 0);
+        assert_eq!(s.next_nonce(&a), 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Data-processing application circuits (paper §IV-E): proofs that a sold
+//! model really was derived from the committed source dataset.
+
+pub mod logreg;
+pub mod transformer;
+
+pub use logreg::LogisticRegressionCircuit;
+pub use transformer::TransformerBlockCircuit;

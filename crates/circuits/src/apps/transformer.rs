@@ -1,0 +1,390 @@
+//! Proof of transformer-block computation (paper §IV-E2).
+//!
+//! Verifies one encoder block — scaled dot-product attention followed by a
+//! two-layer feed-forward network with ReLU — over committed input/output
+//! datasets:
+//!
+//! * `qᵢ = sᵢ·W_Q`, `kᵢ = sᵢ·W_K`, `vᵢ = sᵢ·W_V`,
+//! * `zᵢ = softmax(qᵢ·kᵀ/√d_k)·v` (softmax via the `exp` gadget and an
+//!   exact-division constraint with a range-bounded remainder),
+//! * `dᵢ = max(0, zᵢ·W₁ + b₁)·W₂ + b₂`.
+//!
+//! The weight matrices are auxiliary witnesses; `S` (input embeddings) and
+//! `D` (block outputs) are bound through their Poseidon commitments like
+//! every other ZKDET dataset.
+
+use zkdet_crypto::commitment::{Commitment, Opening};
+use zkdet_field::{Field, Fr};
+use zkdet_plonk::{CircuitBuilder, CompiledCircuit, Variable};
+
+use crate::gadgets::bits::decompose;
+use crate::gadgets::fixed::{encode, exp_approx, scale, Fixed, FIXED_WIDTH_BITS};
+use crate::gadgets::{dot_product, mat_vec_mul, relu, poseidon_commit};
+
+/// Host-side weights of one transformer block.
+#[derive(Clone, Debug)]
+pub struct TransformerWeights {
+    /// `W_Q, W_K, W_V` — each `d_model × d_k`, row-major.
+    pub w_q: Vec<Vec<f64>>,
+    pub w_k: Vec<Vec<f64>>,
+    pub w_v: Vec<Vec<f64>>,
+    /// FFN first layer `d_k × d_ff` and bias.
+    pub w1: Vec<Vec<f64>>,
+    pub b1: Vec<f64>,
+    /// FFN second layer `d_ff × d_out` and bias.
+    pub w2: Vec<Vec<f64>>,
+    pub b2: Vec<f64>,
+}
+
+impl TransformerWeights {
+    /// Random small weights for testing/benchmarking.
+    pub fn random(dims: &TransformerBlockCircuit, rng: &mut impl rand::Rng) -> Self {
+        let mat = |r: usize, c: usize, rng: &mut dyn rand::RngCore| -> Vec<Vec<f64>> {
+            (0..r)
+                .map(|_| {
+                    (0..c)
+                        .map(|_| (rng.next_u32() % 200) as f64 / 1000.0 - 0.1)
+                        .collect()
+                })
+                .collect()
+        };
+        let vecr = |c: usize, rng: &mut dyn rand::RngCore| -> Vec<f64> {
+            (0..c)
+                .map(|_| (rng.next_u32() % 200) as f64 / 1000.0 - 0.1)
+                .collect()
+        };
+        TransformerWeights {
+            w_q: mat(dims.d_model, dims.d_k, rng),
+            w_k: mat(dims.d_model, dims.d_k, rng),
+            w_v: mat(dims.d_model, dims.d_k, rng),
+            w1: mat(dims.d_k, dims.d_ff, rng),
+            b1: vecr(dims.d_ff, rng),
+            w2: mat(dims.d_ff, dims.d_out, rng),
+            b2: vecr(dims.d_out, rng),
+        }
+    }
+
+    /// Total parameter count (the x-axis of Table I's transformer rows).
+    pub fn parameter_count(&self) -> usize {
+        let m = |m: &Vec<Vec<f64>>| m.iter().map(|r| r.len()).sum::<usize>();
+        m(&self.w_q) + m(&self.w_k) + m(&self.w_v) + m(&self.w1) + m(&self.w2)
+            + self.b1.len()
+            + self.b2.len()
+    }
+}
+
+/// Shape of the transformer-block circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransformerBlockCircuit {
+    /// Sequence length (number of input embeddings).
+    pub seq_len: usize,
+    /// Input embedding dimension.
+    pub d_model: usize,
+    /// Attention head dimension.
+    pub d_k: usize,
+    /// FFN hidden dimension.
+    pub d_ff: usize,
+    /// Output dimension.
+    pub d_out: usize,
+}
+
+impl TransformerBlockCircuit {
+    /// A small default shape (used by the quick tests).
+    pub fn tiny() -> Self {
+        TransformerBlockCircuit {
+            seq_len: 2,
+            d_model: 2,
+            d_k: 2,
+            d_ff: 2,
+            d_out: 2,
+        }
+    }
+
+    /// Host-side reference forward pass (mirrors the circuit's approximate
+    /// softmax so witnesses and outputs match within fixed-point noise).
+    pub fn forward_reference(
+        &self,
+        input: &[Vec<f64>],
+        w: &TransformerWeights,
+    ) -> Vec<Vec<f64>> {
+        let matvec = |m: &Vec<Vec<f64>>, v: &Vec<f64>| -> Vec<f64> {
+            // m is row-major (rows × cols); v length = rows; output = cols.
+            let cols = m[0].len();
+            (0..cols)
+                .map(|c| v.iter().zip(m).map(|(x, row)| x * row[c]).sum())
+                .collect()
+        };
+        let exp4 = |t: f64| 1.0 + t + t * t / 2.0 + t * t * t / 6.0 + t * t * t * t / 24.0;
+        let q: Vec<Vec<f64>> = input.iter().map(|s| matvec(&w.w_q, s)).collect();
+        let k: Vec<Vec<f64>> = input.iter().map(|s| matvec(&w.w_k, s)).collect();
+        let v: Vec<Vec<f64>> = input.iter().map(|s| matvec(&w.w_v, s)).collect();
+        let inv_sqrt = 1.0 / (self.d_k as f64).sqrt();
+        input
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let scores: Vec<f64> = (0..self.seq_len)
+                    .map(|j| q[i].iter().zip(&k[j]).map(|(a, b)| a * b).sum::<f64>() * inv_sqrt)
+                    .collect();
+                let exps: Vec<f64> = scores.iter().map(|t| exp4(*t)).collect();
+                let sum: f64 = exps.iter().sum();
+                let z: Vec<f64> = (0..self.d_k)
+                    .map(|c| {
+                        (0..self.seq_len)
+                            .map(|j| exps[j] / sum * v[j][c])
+                            .sum()
+                    })
+                    .collect();
+                let h: Vec<f64> = matvec(&w.w1, &z)
+                    .iter()
+                    .zip(&w.b1)
+                    .map(|(x, b)| (x + b).max(0.0))
+                    .collect();
+                matvec(&w.w2, &h)
+                    .iter()
+                    .zip(&w.b2)
+                    .map(|(x, b)| x + b)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Synthesizes the circuit. Statement: `(c_s, c_d)`; witness: input
+    /// embeddings, weights, outputs, openings.
+    pub fn synthesize(
+        &self,
+        input: &[Vec<f64>],
+        weights: &TransformerWeights,
+        c_s: &Commitment,
+        o_s: &Opening,
+        c_d: &Commitment,
+        o_d: &Opening,
+    ) -> CompiledCircuit {
+        assert_eq!(input.len(), self.seq_len);
+        let mut b = CircuitBuilder::new();
+        let c_s_pub = b.public_input(c_s.0);
+        let c_d_pub = b.public_input(c_d.0);
+
+        // Input wires + source commitment.
+        let s_wires: Vec<Vec<Fixed>> = input
+            .iter()
+            .map(|row| row.iter().map(|x| Fixed::alloc(&mut b, *x)).collect())
+            .collect();
+        let flat_s: Vec<Variable> = s_wires.iter().flatten().map(|f| f.0).collect();
+        let o_s_var = b.alloc(o_s.0);
+        let cs_computed = poseidon_commit(&mut b, &flat_s, o_s_var);
+        b.assert_equal(cs_computed, c_s_pub);
+
+        // Attention + FFN forward pass (weights allocated as witnesses).
+        let out = self.forward_in_circuit(&mut b, &s_wires, weights);
+        let out_wires: Vec<Variable> = out.iter().map(|f| f.0).collect();
+
+        // Derived commitment over the outputs.
+        let o_d_var = b.alloc(o_d.0);
+        let cd_computed = poseidon_commit(&mut b, &out_wires, o_d_var);
+        b.assert_equal(cd_computed, c_d_pub);
+
+        b.build()
+    }
+
+    /// Fixed-point encoding of the derived dataset (the block outputs), as
+    /// computed by the in-circuit arithmetic. Use this to commit to `D`.
+    pub fn derived_encoding(&self, input: &[Vec<f64>], w: &TransformerWeights) -> Vec<Fr> {
+        // The outputs differ from f64 arithmetic by fixed-point rounding, so
+        // run the exact in-circuit forward pass on a scratch builder.
+        self.output_values(input, w)
+    }
+
+    /// Exact fixed-point output values of the circuit for this witness.
+    fn output_values(&self, input: &[Vec<f64>], w: &TransformerWeights) -> Vec<Fr> {
+        let mut sb = CircuitBuilder::new();
+        let s_wires: Vec<Vec<Fixed>> = input
+            .iter()
+            .map(|row| row.iter().map(|x| Fixed::alloc(&mut sb, *x)).collect())
+            .collect();
+        let out = self.forward_in_circuit(&mut sb, &s_wires, w);
+        out.iter().map(|f| sb.value(f.0)).collect()
+    }
+
+    /// The circuit forward pass, reusable for witness derivation.
+    fn forward_in_circuit(
+        &self,
+        b: &mut CircuitBuilder,
+        s_wires: &[Vec<Fixed>],
+        weights: &TransformerWeights,
+    ) -> Vec<Fixed> {
+        let alloc_mat = |b: &mut CircuitBuilder, m: &Vec<Vec<f64>>| -> Vec<Vec<Fixed>> {
+            m.iter()
+                .map(|row| row.iter().map(|x| Fixed::alloc(b, *x)).collect())
+                .collect()
+        };
+        let w_q = alloc_mat(b, &weights.w_q);
+        let w_k = alloc_mat(b, &weights.w_k);
+        let w_v = alloc_mat(b, &weights.w_v);
+        let w1 = alloc_mat(b, &weights.w1);
+        let w2 = alloc_mat(b, &weights.w2);
+        let b1: Vec<Fixed> = weights.b1.iter().map(|x| Fixed::alloc(b, *x)).collect();
+        let b2: Vec<Fixed> = weights.b2.iter().map(|x| Fixed::alloc(b, *x)).collect();
+        let col_major = |m: &[Vec<Fixed>]| -> Vec<Vec<Fixed>> {
+            (0..m[0].len())
+                .map(|c| m.iter().map(|row| row[c]).collect())
+                .collect()
+        };
+        let w_q_cols = col_major(&w_q);
+        let w_k_cols = col_major(&w_k);
+        let w_v_cols = col_major(&w_v);
+        let w1_cols = col_major(&w1);
+        let w2_cols = col_major(&w2);
+        let q: Vec<Vec<Fixed>> = s_wires.iter().map(|s| mat_vec_mul(b, &w_q_cols, s)).collect();
+        let k: Vec<Vec<Fixed>> = s_wires.iter().map(|s| mat_vec_mul(b, &w_k_cols, s)).collect();
+        let v: Vec<Vec<Fixed>> = s_wires.iter().map(|s| mat_vec_mul(b, &w_v_cols, s)).collect();
+        let inv_sqrt = 1.0 / (self.d_k as f64).sqrt();
+        let mut outs = Vec::new();
+        for i in 0..self.seq_len {
+            let mut exps: Vec<Fixed> = Vec::with_capacity(self.seq_len);
+            for j in 0..self.seq_len {
+                let dot = dot_product(b, &q[i], &k[j]);
+                let scaled = dot.mul_const(b, inv_sqrt);
+                exps.push(exp_approx(b, scaled));
+            }
+            let mut sum = exps[0];
+            for e in &exps[1..] {
+                sum = sum.add(b, *e);
+            }
+            let weights_soft: Vec<Fixed> =
+                exps.iter().map(|e| softmax_divide(b, *e, sum)).collect();
+            let z: Vec<Fixed> = (0..self.d_k)
+                .map(|c| {
+                    let col: Vec<Fixed> = (0..self.seq_len).map(|j| v[j][c]).collect();
+                    dot_product(b, &weights_soft, &col)
+                })
+                .collect();
+            let h_pre = mat_vec_mul(b, &w1_cols, &z);
+            let h: Vec<Fixed> = h_pre
+                .iter()
+                .zip(&b1)
+                .map(|(x, bias)| {
+                    let t = x.add(b, *bias);
+                    relu(b, t)
+                })
+                .collect();
+            let out_pre = mat_vec_mul(b, &w2_cols, &h);
+            for (x, bias) in out_pre.iter().zip(&b2) {
+                outs.push(x.add(b, *bias));
+            }
+        }
+        outs
+    }
+
+    /// Public inputs `[c_s, c_d]`.
+    pub fn public_inputs(&self, c_s: &Commitment, c_d: &Commitment) -> Vec<Fr> {
+        vec![c_s.0, c_d.0]
+    }
+}
+
+/// Constrained fixed-point division for softmax: returns `w ≈ e/sum`
+/// (scale 2¹⁶) with the exactness constraint
+/// `w·sum + rem = e·2¹⁶`, `0 ≤ rem < sum`, `w ∈ [0, 2¹⁷)`.
+///
+/// Requires `e, sum > 0` (exp outputs are positive in the approximation's
+/// valid regime) — `rem < sum` is enforced as `sum − 1 − rem ∈ [0, 2^W)`.
+fn softmax_divide(b: &mut CircuitBuilder, e: Fixed, sum: Fixed) -> Fixed {
+    use zkdet_field::PrimeField;
+    // Witness computation.
+    let e_val = b.value(e.0).to_canonical()[0] as u128;
+    let sum_val = b.value(sum.0).to_canonical()[0] as u128;
+    debug_assert!(sum_val > 0, "softmax denominator must be positive");
+    let scaled = e_val << 16;
+    let w_val = scaled / sum_val;
+    let rem_val = scaled % sum_val;
+
+    let w = b.alloc(Fr::from(w_val as u64));
+    let rem = b.alloc(Fr::from(rem_val as u64));
+    // w·sum + rem − e·2¹⁶ = 0.
+    let prod = b.mul(w, sum.0);
+    let lhs = b.add(prod, rem);
+    let rhs = b.mul_const(e.0, scale());
+    b.assert_equal(lhs, rhs);
+    // Range side-conditions.
+    let _ = decompose(b, w, 17 + 1);
+    let _ = decompose(b, rem, FIXED_WIDTH_BITS);
+    // rem < sum: (sum − 1 − rem) ∈ [0, 2^W).
+    let diff = b.lc(sum.0, Fr::ONE, rem, -Fr::ONE, -Fr::ONE);
+    let _ = decompose(b, diff, FIXED_WIDTH_BITS);
+    Fixed(w)
+}
+
+/// Fixed-point encoding of a 2-D input (host helper shared with benches).
+pub fn encode_matrix(m: &[Vec<f64>]) -> Vec<Fr> {
+    m.iter().flatten().map(|x| encode(*x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use zkdet_crypto::commitment::CommitmentScheme;
+    use zkdet_kzg::Srs;
+    use zkdet_plonk::Plonk;
+
+    fn tiny_input(shape: &TransformerBlockCircuit) -> Vec<Vec<f64>> {
+        (0..shape.seq_len)
+            .map(|i| {
+                (0..shape.d_model)
+                    .map(|j| 0.1 * (i as f64 + 1.0) - 0.05 * j as f64)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_reference_close_to_circuit() {
+        let shape = TransformerBlockCircuit::tiny();
+        let mut rng = StdRng::seed_from_u64(440);
+        let w = TransformerWeights::random(&shape, &mut rng);
+        let input = tiny_input(&shape);
+        let reference = shape.forward_reference(&input, &w);
+        let circuit_out = shape.derived_encoding(&input, &w);
+        for (r, c) in reference.iter().flatten().zip(&circuit_out) {
+            let decoded = crate::gadgets::fixed::decode(*c);
+            assert!(
+                (r - decoded).abs() < 0.01,
+                "reference {r} vs circuit {decoded}"
+            );
+        }
+    }
+
+    #[test]
+    fn transformer_block_proves() {
+        let shape = TransformerBlockCircuit::tiny();
+        let mut rng = StdRng::seed_from_u64(441);
+        let w = TransformerWeights::random(&shape, &mut rng);
+        let input = tiny_input(&shape);
+        let source = encode_matrix(&input);
+        let derived = shape.derived_encoding(&input, &w);
+        let (c_s, o_s) = CommitmentScheme::commit(&source, &mut rng);
+        let (c_d, o_d) = CommitmentScheme::commit(&derived, &mut rng);
+        let circuit = shape.synthesize(&input, &w, &c_s, &o_s, &c_d, &o_d);
+        assert!(circuit.is_satisfied());
+
+        let srs = Srs::universal_setup(circuit.rows() + 8, &mut rng);
+        let (pk, vk) = Plonk::preprocess(&srs, &circuit).unwrap();
+        let proof = Plonk::prove(&pk, &circuit, &mut rng).unwrap();
+        assert!(Plonk::verify(&vk, &shape.public_inputs(&c_s, &c_d), &proof));
+    }
+
+    #[test]
+    fn parameter_count_matches_dims() {
+        let shape = TransformerBlockCircuit {
+            seq_len: 4,
+            d_model: 8,
+            d_k: 8,
+            d_ff: 16,
+            d_out: 8,
+        };
+        let mut rng = StdRng::seed_from_u64(442);
+        let w = TransformerWeights::random(&shape, &mut rng);
+        // 3 × (8×8) + 8×16 + 16 + 16×8 + 8 = 192 + 128 + 16 + 128 + 8
+        assert_eq!(w.parameter_count(), 472);
+    }
+}

@@ -1,0 +1,273 @@
+//! Signed fixed-point arithmetic in-circuit, with the non-linear
+//! approximations (sigmoid, exp, log) the paper's gadget library provides
+//! for data-processing predicates (§IV-D 4, §IV-E).
+//!
+//! Numbers are `Q15.16`-style: a value `v ∈ ℝ` is represented by the field
+//! element `⌊v·2¹⁶⌋` (negatives wrap mod `r`). All represented values are
+//! constrained to `|v| < 2^(W-F-1)` integer range with `W = 32` total bits.
+
+use zkdet_field::{Field, Fr, PrimeField};
+use zkdet_plonk::{CircuitBuilder, Variable};
+
+use super::bits::{decompose, recompose};
+
+/// Total significant bits of a fixed-point value (sign-magnitude bound).
+pub const FIXED_WIDTH_BITS: usize = 32;
+/// Fractional bits (scale = 2¹⁶).
+pub const FIXED_FRACTION_BITS: usize = 16;
+
+/// The fixed-point scale `2¹⁶` as a field element.
+pub fn scale() -> Fr {
+    Fr::from(1u64 << FIXED_FRACTION_BITS)
+}
+
+/// Converts an `f64` to its fixed-point field representation (host side).
+pub fn encode(v: f64) -> Fr {
+    let scaled = (v * (1u64 << FIXED_FRACTION_BITS) as f64).round() as i64;
+    if scaled >= 0 {
+        Fr::from(scaled as u64)
+    } else {
+        -Fr::from(scaled.unsigned_abs())
+    }
+}
+
+/// Converts a fixed-point field representation back to `f64` (host side).
+pub fn decode(v: Fr) -> f64 {
+    let limbs = v.to_canonical();
+    // In-range fixed-point values are < 2¹²⁸ in magnitude, so a non-zero
+    // upper limb means the value is a field-wrapped negative.
+    let is_neg = limbs[3] != 0 || limbs[2] != 0;
+    let mag = if is_neg { -v } else { v };
+    let m = mag.to_canonical();
+    let val = m[0] as f64 + (m[1] as f64) * 2f64.powi(64);
+    let signed = if is_neg { -val } else { val };
+    signed / (1u64 << FIXED_FRACTION_BITS) as f64
+}
+
+/// A fixed-point wire: a variable whose value is asserted (at construction)
+/// to lie in the signed `W`-bit window.
+#[derive(Clone, Copy, Debug)]
+pub struct Fixed(pub Variable);
+
+impl Fixed {
+    /// Wraps a variable, range-constraining it into the signed window
+    /// `(-2^(W-1), 2^(W-1))`.
+    pub fn new_checked(b: &mut CircuitBuilder, v: Variable) -> Fixed {
+        // v + 2^(W-1) ∈ [0, 2^W)
+        let shifted = b.add_const(v, Fr::from(1u64 << (FIXED_WIDTH_BITS - 1)));
+        let _ = decompose(b, shifted, FIXED_WIDTH_BITS);
+        Fixed(v)
+    }
+
+    /// Allocates a fixed-point witness from an `f64`.
+    pub fn alloc(b: &mut CircuitBuilder, v: f64) -> Fixed {
+        let var = b.alloc(encode(v));
+        Fixed::new_checked(b, var)
+    }
+
+    /// Constant fixed-point value (no range gate needed).
+    pub fn constant(b: &mut CircuitBuilder, v: f64) -> Fixed {
+        Fixed(b.constant(encode(v)))
+    }
+
+    /// Addition (no rescale needed).
+    pub fn add(self, b: &mut CircuitBuilder, rhs: Fixed) -> Fixed {
+        Fixed(b.add(self.0, rhs.0))
+    }
+
+    /// Subtraction.
+    pub fn sub(self, b: &mut CircuitBuilder, rhs: Fixed) -> Fixed {
+        Fixed(b.sub(self.0, rhs.0))
+    }
+
+    /// Multiplication with truncating rescale: `⌊a·b / 2¹⁶⌋` (floor toward
+    /// −∞ in the shifted domain).
+    ///
+    /// Constraints: `a·b + 2^(2W-1) = q·2¹⁶ + rem`, `rem ∈ [0, 2¹⁶)`,
+    /// `q ∈ [0, 2^(2W-F))`; the result is `q − 2^(2W-1-F)`.
+    pub fn mul(self, b: &mut CircuitBuilder, rhs: Fixed) -> Fixed {
+        let prod = b.mul(self.0, rhs.0);
+        rescale(b, prod)
+    }
+
+    /// Multiplication by a host constant (still needs the rescale).
+    pub fn mul_const(self, b: &mut CircuitBuilder, k: f64) -> Fixed {
+        let prod = b.mul_const(self.0, encode(k));
+        rescale(b, prod)
+    }
+
+    /// The raw (scaled) variable.
+    pub fn var(&self) -> Variable {
+        self.0
+    }
+
+    /// Host-side decode of the current witness value.
+    pub fn value_f64(&self, b: &CircuitBuilder) -> f64 {
+        decode(b.value(self.0))
+    }
+}
+
+/// Rescales a double-width product back to the fixed-point scale:
+/// given `p = a·b` (scale 2³²), returns `⌊p/2¹⁶⌋` at scale 2¹⁶.
+pub fn rescale(b: &mut CircuitBuilder, prod: Variable) -> Fixed {
+    const OFFSET_BITS: usize = 2 * FIXED_WIDTH_BITS - 1; // 63
+    let offset = Fr::from(1u64 << OFFSET_BITS);
+    // shifted = prod + 2⁶³ is non-negative for all in-range products.
+    let shifted = b.add_const(prod, offset);
+    let bits = decompose(b, shifted, OFFSET_BITS + 1);
+    // q = shifted >> 16, then un-shift by 2^(63-16).
+    let q = recompose(b, &bits[FIXED_FRACTION_BITS..]);
+    let result = b.add_const(
+        q,
+        -Fr::from(1u64 << (OFFSET_BITS - FIXED_FRACTION_BITS)),
+    );
+    Fixed(result)
+}
+
+/// Sigmoid approximation `σ(t) ≈ 0.5 + t/4 − t³/48`, clamp-free (valid on
+/// roughly `t ∈ [-4, 4]`, the regime gradient-descent operates in after
+/// feature normalisation). This is the classic cubic used by
+/// privacy-preserving ML systems; the paper's gadget library supplies the
+/// same style of polynomial approximations for `exp`/`log`.
+pub fn sigmoid(b: &mut CircuitBuilder, t: Fixed) -> Fixed {
+    let t2 = t.mul(b, t);
+    let t3 = t2.mul(b, t);
+    let lin = t.mul_const(b, 0.25);
+    let cub = t3.mul_const(b, 1.0 / 48.0);
+    let half = Fixed::constant(b, 0.5);
+    let s = half.add(b, lin);
+    s.sub(b, cub)
+}
+
+/// `exp(t) ≈ 1 + t + t²/2 + t³/6 + t⁴/24` (Taylor; accurate for |t| ≲ 2 —
+/// attention scores are scaled into this regime before softmax).
+pub fn exp_approx(b: &mut CircuitBuilder, t: Fixed) -> Fixed {
+    let t2 = t.mul(b, t);
+    let t3 = t2.mul(b, t);
+    let t4 = t3.mul(b, t);
+    let half_t2 = t2.mul_const(b, 0.5);
+    let sixth_t3 = t3.mul_const(b, 1.0 / 6.0);
+    let t4_term = t4.mul_const(b, 1.0 / 24.0);
+    let mut acc = Fixed::constant(b, 1.0);
+    acc = acc.add(b, t);
+    acc = acc.add(b, half_t2);
+    acc = acc.add(b, sixth_t3);
+    acc.add(b, t4_term)
+}
+
+/// `ln(1+t) ≈ t − t²/2 + t³/3 − t⁴/4` (Mercator series, |t| < 1). The
+/// logistic-regression loss uses it around operating points near 0.5.
+pub fn ln1p_approx(b: &mut CircuitBuilder, t: Fixed) -> Fixed {
+    let t2 = t.mul(b, t);
+    let t3 = t2.mul(b, t);
+    let t4 = t3.mul(b, t);
+    let half_t2 = t2.mul_const(b, 0.5);
+    let third_t3 = t3.mul_const(b, 1.0 / 3.0);
+    let quarter_t4 = t4.mul_const(b, 0.25);
+    let mut acc = t;
+    acc = acc.sub(b, half_t2);
+    acc = acc.add(b, third_t3);
+    acc.sub(b, quarter_t4)
+}
+
+/// Asserts `|x| ≤ bound` for a fixed-point wire and an `f64` bound.
+pub fn assert_abs_le(b: &mut CircuitBuilder, x: Fixed, bound: f64) {
+    let bound_fr = encode(bound);
+    // bound − x ≥ 0 and bound + x ≥ 0, both range-checked to W+1 bits.
+    let hi = b.lc(x.0, -Fr::ONE, b.zero(), Fr::ZERO, bound_fr);
+    let lo = b.lc(x.0, Fr::ONE, b.zero(), Fr::ZERO, bound_fr);
+    let _ = decompose(b, hi, FIXED_WIDTH_BITS + 1);
+    let _ = decompose(b, lo, FIXED_WIDTH_BITS + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for v in [0.0, 1.0, -1.0, 3.25, -7.0625, 1000.5, -0.0001] {
+            assert!(close(decode(encode(v)), v, 1.0 / 65536.0 + 1e-9), "{v}");
+        }
+    }
+
+    #[test]
+    fn add_sub_mul_semantics() {
+        let mut b = CircuitBuilder::new();
+        let x = Fixed::alloc(&mut b, 2.5);
+        let y = Fixed::alloc(&mut b, -1.25);
+        let s = x.add(&mut b, y);
+        assert!(close(s.value_f64(&b), 1.25, 1e-4));
+        let d = x.sub(&mut b, y);
+        assert!(close(d.value_f64(&b), 3.75, 1e-4));
+        let p = x.mul(&mut b, y);
+        assert!(close(p.value_f64(&b), -3.125, 1e-4));
+        let k = x.mul_const(&mut b, 0.5);
+        assert!(close(k.value_f64(&b), 1.25, 1e-4));
+        assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn negative_products_rescale_correctly() {
+        let mut b = CircuitBuilder::new();
+        let x = Fixed::alloc(&mut b, -3.0);
+        let y = Fixed::alloc(&mut b, -4.0);
+        let p = x.mul(&mut b, y);
+        assert!(close(p.value_f64(&b), 12.0, 1e-4));
+        let q = x.mul(&mut b, p); // -36
+        assert!(close(q.value_f64(&b), -36.0, 1e-3));
+        assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn sigmoid_matches_reference() {
+        for t in [-2.0f64, -0.5, 0.0, 0.5, 2.0] {
+            let mut b = CircuitBuilder::new();
+            let x = Fixed::alloc(&mut b, t);
+            let s = sigmoid(&mut b, x);
+            let reference = 0.5 + t / 4.0 - t * t * t / 48.0;
+            assert!(
+                close(s.value_f64(&b), reference, 1e-3),
+                "sigmoid({t}): {} vs {}",
+                s.value_f64(&b),
+                reference
+            );
+            // And the cubic tracks the true sigmoid decently in this range.
+            let truth = 1.0 / (1.0 + (-t).exp());
+            assert!(close(reference, truth, 0.05));
+            assert!(b.build().is_satisfied());
+        }
+    }
+
+    #[test]
+    fn exp_and_ln_approx_reasonable() {
+        let mut b = CircuitBuilder::new();
+        let x = Fixed::alloc(&mut b, 0.5);
+        let e = exp_approx(&mut b, x);
+        assert!(close(e.value_f64(&b), 0.5f64.exp(), 0.01));
+        let l = ln1p_approx(&mut b, x);
+        assert!(close(l.value_f64(&b), 1.5f64.ln(), 0.01));
+        assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn abs_bound_holds() {
+        let mut b = CircuitBuilder::new();
+        let x = Fixed::alloc(&mut b, -0.75);
+        assert_abs_le(&mut b, x, 1.0);
+        assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic]
+    fn abs_bound_violation_panics_in_debug() {
+        let mut b = CircuitBuilder::new();
+        let x = Fixed::alloc(&mut b, 1.5);
+        assert_abs_le(&mut b, x, 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Vector/matrix gadgets (§IV-D: "algebraic and matrix operation") over
+//! fixed-point wires — the workhorses of the §IV-E model-training circuits.
+
+use zkdet_field::Fr;
+use zkdet_plonk::CircuitBuilder;
+
+use super::bits::decompose;
+use super::fixed::{rescale, Fixed, FIXED_WIDTH_BITS};
+
+/// Fixed-point dot product `Σᵢ xᵢ·yᵢ` (one shared rescale at the end, which
+/// is both cheaper and more accurate than per-term rescaling).
+pub fn dot_product(b: &mut CircuitBuilder, x: &[Fixed], y: &[Fixed]) -> Fixed {
+    assert_eq!(x.len(), y.len(), "dot product needs equal lengths");
+    let mut acc = b.zero();
+    for (xi, yi) in x.iter().zip(y) {
+        let p = b.mul(xi.0, yi.0);
+        acc = b.add(acc, p);
+    }
+    rescale(b, acc)
+}
+
+/// Matrix–vector product `M·v` for a row-major matrix of fixed wires.
+pub fn mat_vec_mul(b: &mut CircuitBuilder, rows: &[Vec<Fixed>], v: &[Fixed]) -> Vec<Fixed> {
+    rows.iter().map(|row| dot_product(b, row, v)).collect()
+}
+
+/// Sum of fixed-point wires (free of rescaling).
+pub fn sum(b: &mut CircuitBuilder, xs: &[Fixed]) -> Fixed {
+    let mut acc = b.zero();
+    for x in xs {
+        acc = b.add(acc, x.0);
+    }
+    Fixed(acc)
+}
+
+/// ReLU: `max(0, x)`. Extracts the sign bit by decomposing `x + 2^(W-1)`
+/// (in-window values shift into `[0, 2^W)`; the top bit is `1` iff `x ≥ 0`)
+/// and multiplies.
+pub fn relu(b: &mut CircuitBuilder, x: Fixed) -> Fixed {
+    let shifted = b.add_const(x.0, Fr::from(1u64 << (FIXED_WIDTH_BITS - 1)));
+    let bits = decompose(b, shifted, FIXED_WIDTH_BITS);
+    let nonneg = bits[FIXED_WIDTH_BITS - 1];
+    let out = b.mul(nonneg, x.0);
+    Fixed(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets::fixed::{self};
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn dot_product_matches_reference() {
+        let xs = [1.5, -2.0, 0.25];
+        let ys = [2.0, 0.5, -4.0];
+        let expect: f64 = xs.iter().zip(&ys).map(|(a, c)| a * c).sum();
+        let mut b = CircuitBuilder::new();
+        let xv: Vec<_> = xs.iter().map(|v| Fixed::alloc(&mut b, *v)).collect();
+        let yv: Vec<_> = ys.iter().map(|v| Fixed::alloc(&mut b, *v)).collect();
+        let d = dot_product(&mut b, &xv, &yv);
+        assert!(close(d.value_f64(&b), expect, 1e-3));
+        assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn mat_vec_matches_reference() {
+        let m = [[1.0, 2.0], [-0.5, 0.5]];
+        let v = [3.0, -1.0];
+        let mut b = CircuitBuilder::new();
+        let rows: Vec<Vec<Fixed>> = m
+            .iter()
+            .map(|r| r.iter().map(|x| Fixed::alloc(&mut b, *x)).collect())
+            .collect();
+        let vv: Vec<_> = v.iter().map(|x| Fixed::alloc(&mut b, *x)).collect();
+        let out = mat_vec_mul(&mut b, &rows, &vv);
+        assert!(close(out[0].value_f64(&b), 1.0, 1e-3));
+        assert!(close(out[1].value_f64(&b), -2.0, 1e-3));
+        assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        for (input, expect) in [(3.25f64, 3.25f64), (-2.5, 0.0), (0.0, 0.0)] {
+            let mut b = CircuitBuilder::new();
+            let x = Fixed::alloc(&mut b, input);
+            let y = relu(&mut b, x);
+            assert!(
+                close(y.value_f64(&b), expect, 1e-4),
+                "relu({input}) = {}",
+                y.value_f64(&b)
+            );
+            assert!(b.build().is_satisfied());
+        }
+    }
+
+    #[test]
+    fn sum_is_exact() {
+        let mut b = CircuitBuilder::new();
+        let xs: Vec<_> = [0.5, 0.25, -0.125]
+            .iter()
+            .map(|v| Fixed::alloc(&mut b, *v))
+            .collect();
+        let s = sum(&mut b, &xs);
+        assert_eq!(b.value(s.0), fixed::encode(0.625));
+        assert!(b.build().is_satisfied());
+    }
+}

@@ -1,0 +1,16 @@
+//! Fundamental gadgets (§IV-D): the building blocks for transformation
+//! predicates.
+
+pub mod bits;
+pub mod fixed;
+pub mod matrix;
+pub mod merkle;
+pub mod mimc;
+pub mod poseidon;
+
+pub use bits::{assert_lt_const, assert_range, decompose, recompose};
+pub use fixed::{Fixed, FIXED_FRACTION_BITS, FIXED_WIDTH_BITS};
+pub use matrix::{dot_product, mat_vec_mul, relu, sum as vec_sum};
+pub use merkle::verify_merkle_path;
+pub use mimc::{mimc_ctr_encrypt, mimc_encrypt_block};
+pub use poseidon::{poseidon_commit, poseidon_hash, poseidon_hash_two, poseidon_permute};

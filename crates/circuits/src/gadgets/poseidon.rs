@@ -1,0 +1,139 @@
+//! In-circuit Poseidon: commitments and Merkle hashing (§IV-C2).
+//!
+//! Matches `zkdet_crypto::poseidon` exactly — same constants, MDS, padding
+//! and domain separation — so commitments verified in-circuit equal the
+//! native ones published on-chain.
+
+use zkdet_field::{Field, Fr};
+use zkdet_plonk::{CircuitBuilder, Variable};
+
+use zkdet_crypto::poseidon::{params, ALPHA, FULL_ROUNDS, PARTIAL_ROUNDS, WIDTH};
+
+/// Applies the Poseidon permutation to a width-3 state of variables.
+pub fn poseidon_permute(b: &mut CircuitBuilder, state: &mut [Variable; WIDTH]) {
+    let p = params();
+    let half_full = FULL_ROUNDS / 2;
+    let total = FULL_ROUNDS + PARTIAL_ROUNDS;
+    for r in 0..total {
+        // ARC + S-box (fused: the add_const output feeds pow_const).
+        let full = r < half_full || r >= half_full + PARTIAL_ROUNDS;
+        for (j, s) in state.iter_mut().enumerate() {
+            let t = b.add_const(*s, p.round_constants[r][j]);
+            *s = if full || j == 0 {
+                b.pow_const(t, ALPHA)
+            } else {
+                t
+            };
+        }
+        // MDS row mixing: each output lane is a 3-term linear combination.
+        let old = *state;
+        for (i, s) in state.iter_mut().enumerate() {
+            let t01 = b.lc(old[0], p.mds[i][0], old[1], p.mds[i][1], Fr::ZERO);
+            *s = b.lc(t01, Fr::ONE, old[2], p.mds[i][2], Fr::ZERO);
+        }
+    }
+}
+
+/// Two-to-one hash `H(x, y)` matching `Poseidon::hash_two`.
+pub fn poseidon_hash_two(b: &mut CircuitBuilder, x: Variable, y: Variable) -> Variable {
+    let one = b.constant(Fr::from(1u64));
+    let mut state = [one, x, y];
+    poseidon_permute(b, &mut state);
+    state[1]
+}
+
+/// Variable-length sponge hash matching `Poseidon::hash` (the input length
+/// is a structural constant of the circuit, as it is in the native hash).
+pub fn poseidon_hash(b: &mut CircuitBuilder, inputs: &[Variable]) -> Variable {
+    let cap_tag = Fr::from(2u64) + Fr::from((inputs.len() as u64) << 8);
+    let cap = b.constant(cap_tag);
+    let zero = b.zero();
+    let mut state = [cap, zero, zero];
+    if inputs.is_empty() {
+        poseidon_permute(b, &mut state);
+        return state[1];
+    }
+    for chunk in inputs.chunks(2) {
+        state[1] = b.add(state[1], chunk[0]);
+        state[2] = match chunk.get(1) {
+            Some(x) => b.add(state[2], *x),
+            None => b.add_const(state[2], Fr::ONE),
+        };
+        poseidon_permute(b, &mut state);
+    }
+    state[1]
+}
+
+/// The commitment relation `Open(m, c, o) = 1` of §II-B:
+/// recomputes `Commit(m; o) = Poseidon(m ‖ o)` and returns the commitment
+/// wire (callers constrain it against the public commitment).
+pub fn poseidon_commit(b: &mut CircuitBuilder, message: &[Variable], opening: Variable) -> Variable {
+    let mut input = message.to_vec();
+    input.push(opening);
+    poseidon_hash(b, &input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use zkdet_crypto::commitment::{CommitmentScheme, Opening};
+    use zkdet_crypto::poseidon::Poseidon;
+
+    #[test]
+    fn permutation_matches_native() {
+        let mut rng = StdRng::seed_from_u64(310);
+        let vals = [Fr::random(&mut rng), Fr::random(&mut rng), Fr::random(&mut rng)];
+        let mut native = vals;
+        Poseidon::permute(&mut native);
+
+        let mut b = CircuitBuilder::new();
+        let mut state = [b.alloc(vals[0]), b.alloc(vals[1]), b.alloc(vals[2])];
+        poseidon_permute(&mut b, &mut state);
+        for (v, n) in state.iter().zip(&native) {
+            assert_eq!(b.value(*v), *n);
+        }
+        assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn hash_two_matches_native() {
+        let x = Fr::from(11u64);
+        let y = Fr::from(22u64);
+        let mut b = CircuitBuilder::new();
+        let xv = b.alloc(x);
+        let yv = b.alloc(y);
+        let h = poseidon_hash_two(&mut b, xv, yv);
+        assert_eq!(b.value(h), Poseidon::hash_two(x, y));
+        assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn sponge_matches_native_all_lengths() {
+        let mut rng = StdRng::seed_from_u64(311);
+        for len in 0..6 {
+            let vals: Vec<Fr> = (0..len).map(|_| Fr::random(&mut rng)).collect();
+            let mut b = CircuitBuilder::new();
+            let vars: Vec<_> = vals.iter().map(|v| b.alloc(*v)).collect();
+            let h = poseidon_hash(&mut b, &vars);
+            assert_eq!(b.value(h), Poseidon::hash(&vals), "length {len}");
+            assert!(b.build().is_satisfied());
+        }
+    }
+
+    #[test]
+    fn commit_gadget_matches_native_scheme() {
+        let mut rng = StdRng::seed_from_u64(312);
+        let msg: Vec<Fr> = (0..3).map(|_| Fr::random(&mut rng)).collect();
+        let (c, o) = CommitmentScheme::commit(&msg, &mut rng);
+        let mut b = CircuitBuilder::new();
+        let mvars: Vec<_> = msg.iter().map(|v| b.alloc(*v)).collect();
+        let ovar = b.alloc(o.0);
+        let cvar = poseidon_commit(&mut b, &mvars, ovar);
+        assert_eq!(b.value(cvar), c.0);
+        // And the wrong opening yields a different value.
+        let bad = Opening(o.0 + Fr::ONE);
+        assert_ne!(b.value(cvar), CommitmentScheme::commit_with(&msg, &bad).0);
+        assert!(b.build().is_satisfied());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the gadget library: in-circuit semantics must
+//! match host-side semantics on arbitrary inputs.
+
+use proptest::prelude::*;
+use zkdet_circuits::gadgets::fixed::{self, Fixed};
+use zkdet_circuits::gadgets::{decompose, recompose, relu, vec_sum};
+use zkdet_field::{Field, Fr};
+use zkdet_plonk::CircuitBuilder;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn decompose_recompose_roundtrip(x in any::<u64>()) {
+        let mut b = CircuitBuilder::new();
+        let v = b.alloc(Fr::from(x));
+        let bits = decompose(&mut b, v, 64);
+        let back = recompose(&mut b, &bits);
+        prop_assert_eq!(b.value(back), Fr::from(x));
+        prop_assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn fixed_mul_tracks_f64(a in -100.0f64..100.0, c in -100.0f64..100.0) {
+        let mut b = CircuitBuilder::new();
+        let x = Fixed::alloc(&mut b, a);
+        let y = Fixed::alloc(&mut b, c);
+        let p = x.mul(&mut b, y);
+        let got = p.value_f64(&b);
+        prop_assert!((got - a * c).abs() < 0.01, "{a}·{c} = {got}");
+        prop_assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn fixed_add_sub_exact(a in -1000.0f64..1000.0, c in -1000.0f64..1000.0) {
+        let mut b = CircuitBuilder::new();
+        let x = Fixed::alloc(&mut b, a);
+        let y = Fixed::alloc(&mut b, c);
+        let s = x.add(&mut b, y);
+        let d = x.sub(&mut b, y);
+        prop_assert!((s.value_f64(&b) - (a + c)).abs() < 1e-4);
+        prop_assert!((d.value_f64(&b) - (a - c)).abs() < 1e-4);
+        prop_assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn relu_matches_host(a in -50.0f64..50.0) {
+        let mut b = CircuitBuilder::new();
+        let x = Fixed::alloc(&mut b, a);
+        let y = relu(&mut b, x);
+        prop_assert!((y.value_f64(&b) - a.max(0.0)).abs() < 1e-4);
+        prop_assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn select_behaves_like_ternary(t in any::<u32>(), f in any::<u32>(), bit in any::<bool>()) {
+        let mut b = CircuitBuilder::new();
+        let tv = b.alloc(Fr::from(t as u64));
+        let fv = b.alloc(Fr::from(f as u64));
+        let bv = b.alloc(Fr::from(bit as u64));
+        b.assert_bool(bv);
+        let out = b.select(bv, tv, fv);
+        prop_assert_eq!(b.value(out), Fr::from(if bit { t } else { f } as u64));
+        prop_assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn is_zero_classifies(x in any::<u64>()) {
+        let mut b = CircuitBuilder::new();
+        let v = b.alloc(Fr::from(x));
+        let z = b.is_zero(v);
+        prop_assert_eq!(b.value(z), Fr::from((x == 0) as u64));
+        prop_assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn pow_const_matches_field_pow(x in any::<u32>(), e in 0u64..12) {
+        let mut b = CircuitBuilder::new();
+        let base = Fr::from(x as u64);
+        let v = b.alloc(base);
+        let p = b.pow_const(v, e);
+        prop_assert_eq!(b.value(p), base.pow(&[e, 0, 0, 0]));
+        prop_assert!(b.build().is_satisfied());
+    }
+
+    #[test]
+    fn vec_sum_matches_iterator(xs in proptest::collection::vec(-10.0f64..10.0, 1..8)) {
+        let mut b = CircuitBuilder::new();
+        let wires: Vec<Fixed> = xs.iter().map(|v| Fixed::alloc(&mut b, *v)).collect();
+        let s = vec_sum(&mut b, &wires);
+        let expect: f64 = xs.iter().map(|v| fixed::decode(fixed::encode(*v))).sum();
+        prop_assert!((s.value_f64(&b) - expect).abs() < 1e-3);
+        prop_assert!(b.build().is_satisfied());
+    }
+}
+
+#[test]
+fn gadget_circuits_are_structure_stable() {
+    // Same shape, different witnesses ⇒ identical row counts (the property
+    // the key registry relies on).
+    let build = |seed: u64| {
+        let mut b = CircuitBuilder::new();
+        let x = Fixed::alloc(&mut b, seed as f64 / 7.0);
+        let y = Fixed::alloc(&mut b, seed as f64 / 3.0);
+        let p = x.mul(&mut b, y);
+        let r = relu(&mut b, p);
+        let bits = decompose(&mut b, r.0, 48);
+        let _ = recompose(&mut b, &bits);
+        b.build().rows()
+    };
+    assert_eq!(build(1), build(99));
+}

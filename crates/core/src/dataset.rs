@@ -1,0 +1,144 @@
+//! Dataset representation and encodings.
+
+use zkdet_field::{Fr, PrimeField};
+
+/// A plaintext dataset: an ordered tuple of field elements `(dᵢ)` as in the
+/// paper's notation. Arbitrary bytes are packed 31 bytes per element so
+/// every element is trivially canonical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dataset {
+    entries: Vec<Fr>,
+}
+
+/// Bytes packed per field element.
+const PACK: usize = 31;
+
+impl Dataset {
+    /// Wraps field-element entries directly.
+    pub fn from_entries(entries: Vec<Fr>) -> Self {
+        Dataset { entries }
+    }
+
+    /// Packs raw bytes, 31 per element, with a final length marker element
+    /// so byte strings of different lengths never collide.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        let mut entries = Vec::with_capacity(data.len() / PACK + 2);
+        for chunk in data.chunks(PACK) {
+            let mut buf = [0u8; 32];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            entries.push(Fr::from_bytes(&buf).expect("31-byte values are canonical"));
+        }
+        entries.push(Fr::from(data.len() as u64));
+        Dataset { entries }
+    }
+
+    /// Recovers the packed bytes (inverse of [`Self::from_bytes`]).
+    ///
+    /// Returns `None` if the trailing length marker is inconsistent.
+    pub fn to_packed_bytes(&self) -> Option<Vec<u8>> {
+        let (len_marker, body) = self.entries.split_last()?;
+        let total_len = len_marker.to_canonical()[0] as usize;
+        if len_marker.to_canonical()[1..] != [0, 0, 0] {
+            return None;
+        }
+        let expected_elems = total_len.div_ceil(PACK);
+        if body.len() != expected_elems {
+            return None;
+        }
+        let mut out = Vec::with_capacity(total_len);
+        for (i, e) in body.iter().enumerate() {
+            let bytes = e.to_bytes();
+            let take = PACK.min(total_len - i * PACK);
+            out.extend_from_slice(&bytes[..take]);
+        }
+        Some(out)
+    }
+
+    /// The entries `(dᵢ)`.
+    pub fn entries(&self) -> &[Fr] {
+        &self.entries
+    }
+
+    /// Number of entries `n`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dataset has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Concatenates datasets in order (the aggregation semantics of §IV-D).
+    pub fn concat(parts: &[Dataset]) -> Dataset {
+        Dataset {
+            entries: parts.iter().flat_map(|p| p.entries.clone()).collect(),
+        }
+    }
+
+    /// Splits into consecutive parts of the given sizes (partition
+    /// semantics of §IV-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes do not sum to the dataset length.
+    pub fn split(&self, sizes: &[usize]) -> Vec<Dataset> {
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            self.entries.len(),
+            "partition sizes must cover the dataset"
+        );
+        let mut out = Vec::with_capacity(sizes.len());
+        let mut offset = 0;
+        for s in sizes {
+            out.push(Dataset {
+                entries: self.entries[offset..offset + s].to_vec(),
+            });
+            offset += s;
+        }
+        out
+    }
+}
+
+impl From<Vec<Fr>> for Dataset {
+    fn from(entries: Vec<Fr>) -> Self {
+        Dataset::from_entries(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        for len in [0usize, 1, 30, 31, 32, 100] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let ds = Dataset::from_bytes(&data);
+            assert_eq!(ds.to_packed_bytes().unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn different_lengths_never_collide() {
+        let a = Dataset::from_bytes(&[0u8; 31]);
+        let b = Dataset::from_bytes(&[0u8; 30]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn concat_then_split_roundtrips() {
+        let a = Dataset::from_entries(vec![Fr::from(1u64), Fr::from(2u64)]);
+        let b = Dataset::from_entries(vec![Fr::from(3u64)]);
+        let joined = Dataset::concat(&[a.clone(), b.clone()]);
+        assert_eq!(joined.len(), 3);
+        let parts = joined.split(&[2, 1]);
+        assert_eq!(parts, vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition sizes")]
+    fn split_size_mismatch_panics() {
+        Dataset::from_entries(vec![Fr::from(1u64)]).split(&[2]);
+    }
+}

@@ -1,0 +1,61 @@
+//! The unified error type of the protocol layer.
+
+use zkdet_chain::ChainError;
+use zkdet_plonk::PlonkError;
+use zkdet_storage::StorageError;
+
+/// Anything that can go wrong while running the ZKDET protocols.
+#[derive(Debug)]
+pub enum ZkdetError {
+    /// Chain-side failure (authorisation, funds, provenance rules…).
+    Chain(ChainError),
+    /// Storage-side failure (missing or tampered content).
+    Storage(StorageError),
+    /// Proving-system failure (SRS too small, unsatisfied witness…).
+    Plonk(PlonkError),
+    /// A zero-knowledge proof failed verification.
+    ProofInvalid(&'static str),
+    /// Retrieved bytes failed structural decoding.
+    Codec(String),
+    /// A published artefact is inconsistent with on-chain records.
+    Inconsistent(String),
+    /// Caller lacks the seller-side secrets for a token.
+    MissingSecret(zkdet_chain::TokenId),
+    /// Protocol-state misuse (e.g. settling an unlocked listing).
+    Protocol(String),
+}
+
+impl core::fmt::Display for ZkdetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ZkdetError::Chain(e) => write!(f, "chain error: {e}"),
+            ZkdetError::Storage(e) => write!(f, "storage error: {e}"),
+            ZkdetError::Plonk(e) => write!(f, "proving error: {e}"),
+            ZkdetError::ProofInvalid(what) => write!(f, "proof rejected: {what}"),
+            ZkdetError::Codec(what) => write!(f, "decode failure: {what}"),
+            ZkdetError::Inconsistent(what) => write!(f, "inconsistent artefact: {what}"),
+            ZkdetError::MissingSecret(t) => write!(f, "no seller secrets for token {t}"),
+            ZkdetError::Protocol(what) => write!(f, "protocol misuse: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ZkdetError {}
+
+impl From<ChainError> for ZkdetError {
+    fn from(e: ChainError) -> Self {
+        ZkdetError::Chain(e)
+    }
+}
+
+impl From<StorageError> for ZkdetError {
+    fn from(e: StorageError) -> Self {
+        ZkdetError::Storage(e)
+    }
+}
+
+impl From<PlonkError> for ZkdetError {
+    fn from(e: PlonkError) -> Self {
+        ZkdetError::Plonk(e)
+    }
+}

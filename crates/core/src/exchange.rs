@@ -1,0 +1,324 @@
+//! The key-secure two-phase data exchange protocol (§IV-F, Fig. 4).
+//!
+//! Phase 1 — *data validation*: the seller supplies `π_p` (the predicate +
+//! commitment-opening proof, with the encryption conjunct covered by the
+//! token's reusable `π_e`); the buyer verifies it, draws `k_v`, sends `k_v`
+//! to the seller off-chain and locks the payment on-chain together with
+//! `h_v = H(k_v)`.
+//!
+//! Phase 2 — *key negotiation*: the seller submits `(k_c = k + k_v, π_k)`
+//! to the arbiter contract, which verifies
+//! `Open(k,c,o) = 1 ∧ h_v = H(k_v) ∧ k_c = k + k_v` and releases the
+//! payment. The buyer unblinds `k = k_c − k_v` and decrypts. **The key `k`
+//! never appears on-chain** — any third party sees only `k_c`, which is a
+//! one-time-pad blinding of `k` under `k_v`.
+
+use rand::Rng;
+use zkdet_chain::{Address, Event, TokenId, Wei};
+use zkdet_chain::contracts::ListingId;
+use zkdet_circuits::exchange::{KeyNegotiationCircuit, ValidationCircuit, ValidationPredicate};
+use zkdet_crypto::commitment::{Commitment, CommitmentScheme, Opening};
+use zkdet_crypto::mimc::MimcCtr;
+use zkdet_crypto::poseidon::Poseidon;
+use zkdet_field::{Field, Fr};
+use zkdet_plonk::{Plonk, Proof, VerifyingKey};
+
+use crate::dataset::Dataset;
+use crate::error::ZkdetError;
+use crate::market::{DataOwner, Marketplace};
+
+/// Seller-side state for an open listing.
+#[derive(Clone, Debug)]
+pub struct SellerListing {
+    /// The on-chain listing.
+    pub listing: ListingId,
+    /// The token being sold.
+    pub token: TokenId,
+    /// Blinder of the key commitment `c` held by the arbiter.
+    pub key_opening: Opening,
+}
+
+/// A seller-produced validation package: `π_p` and everything the buyer
+/// needs to check it (Fig. 4's *data validation phase* message).
+#[derive(Clone, Debug)]
+pub struct ValidationPackage {
+    /// The proof.
+    pub proof: Proof,
+    /// Statement values `[c_d, predicate publics…]`.
+    pub publics: Vec<Fr>,
+    /// Verifying key for the predicate relation (public setup data).
+    pub vk: VerifyingKey,
+}
+
+/// Buyer-side state between locking and recovery.
+#[derive(Clone, Debug)]
+pub struct BuyerSession {
+    /// The buyer's address.
+    pub buyer: Address,
+    /// The listing being bought.
+    pub listing: ListingId,
+    /// The token being bought.
+    pub token: TokenId,
+    /// Price paid into escrow.
+    pub price: Wei,
+    /// The buyer's secret blinding key `k_v`.
+    k_v: Fr,
+    /// The on-chain commitment `c_d` of the dataset (for final checks).
+    expected_commitment: Fr,
+}
+
+impl BuyerSession {
+    /// The off-chain message to the seller: `k_v` (Fig. 4, step between
+    /// phases). Sending it anywhere else would let that party unblind `k_c`.
+    pub fn k_v_message(&self) -> Fr {
+        self.k_v
+    }
+}
+
+/// Terminal state of an exchange.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExchangeOutcome {
+    /// Payment released to the seller; buyer holds the token and plaintext.
+    Settled,
+    /// Buyer reclaimed the escrow after a seller timeout.
+    Refunded,
+}
+
+impl Marketplace {
+    /// Seller lists a token in a clock auction. The arbiter (auction
+    /// contract) is initialized with the commitment `c` to the decryption
+    /// key, per §IV-F.
+    #[allow(clippy::too_many_arguments)]
+    pub fn list_for_sale<R: Rng + ?Sized>(
+        &mut self,
+        owner: &DataOwner,
+        token: TokenId,
+        start_price: Wei,
+        floor_price: Wei,
+        decay_per_block: Wei,
+        predicate_description: String,
+        rng: &mut R,
+    ) -> Result<SellerListing, ZkdetError> {
+        let secret = owner
+            .secret(token)
+            .ok_or(ZkdetError::MissingSecret(token))?;
+        let (key_commitment, key_opening) = CommitmentScheme::commit_scalar(secret.key, rng);
+        let (listing, _) = self.chain.auction_create(
+            self.auction_addr,
+            self.nft_addr,
+            owner.address,
+            token,
+            start_price,
+            floor_price,
+            decay_per_block,
+            key_commitment.0,
+            predicate_description,
+        )?;
+        Ok(SellerListing {
+            listing,
+            token,
+            key_opening,
+        })
+    }
+
+    /// Seller produces the validation package `π_p` for a predicate φ
+    /// (phase 1 message). The encryption conjunct of the paper's `π_p` is
+    /// covered by the token's stored `π_e`, which the buyer checks through
+    /// [`Marketplace::audit_token`]; both proofs share the commitment `c_d`.
+    pub fn seller_validation_package<P: ValidationPredicate, R: Rng + ?Sized>(
+        &mut self,
+        owner: &DataOwner,
+        token: TokenId,
+        predicate: P,
+        rng: &mut R,
+    ) -> Result<ValidationPackage, ZkdetError> {
+        let secret = owner
+            .secret(token)
+            .ok_or(ZkdetError::MissingSecret(token))?;
+        let shape = ValidationCircuit::new(secret.data.len(), predicate);
+        let circuit = shape.synthesize(
+            secret.data.entries(),
+            &secret.commitment,
+            &secret.opening,
+        );
+        let (pk, vk) = Plonk::preprocess(&self.srs, &circuit)?;
+        let proof = Plonk::prove(&pk, &circuit, rng)?;
+        Ok(ValidationPackage {
+            proof,
+            publics: shape.public_inputs(&secret.commitment),
+            vk,
+        })
+    }
+
+    /// Buyer verifies `π_p` (and its link to the on-chain commitment),
+    /// draws `k_v` and locks the payment with `h_v = H(k_v)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the validation proof does not verify, if its commitment
+    /// does not match the token's on-chain commitment, or if the buyer
+    /// cannot cover the clock price.
+    pub fn buyer_validate_and_lock<R: Rng + ?Sized>(
+        &mut self,
+        buyer: &DataOwner,
+        listing_id: ListingId,
+        package: &ValidationPackage,
+        rng: &mut R,
+    ) -> Result<BuyerSession, ZkdetError> {
+        let listing = self
+            .chain
+            .auction(&self.auction_addr)?
+            .listing(listing_id)?
+            .clone();
+        let token = listing.token;
+        let on_chain_commitment = self.chain.nft(&self.nft_addr)?.token_meta(token)?.commitment;
+
+        // π_p must verify AND bind to the on-chain commitment.
+        if package.publics.first() != Some(&on_chain_commitment) {
+            return Err(ZkdetError::Inconsistent(
+                "validation proof is about a different commitment".into(),
+            ));
+        }
+        if !Plonk::verify(&package.vk, &package.publics, &package.proof) {
+            return Err(ZkdetError::ProofInvalid("π_p"));
+        }
+
+        let k_v = Fr::random(rng);
+        let h_v = Poseidon::hash(&[k_v]);
+        let price = listing.price_at(self.chain.height());
+        self.chain
+            .auction_lock(self.auction_addr, buyer.address, listing_id, price, h_v)?;
+        Ok(BuyerSession {
+            buyer: buyer.address,
+            listing: listing_id,
+            token,
+            price,
+            k_v,
+            expected_commitment: on_chain_commitment,
+        })
+    }
+
+    /// Seller settles (phase 2): derives `k_c = k + k_v`, proves `π_k`, and
+    /// submits both to the arbiter contract, which pays out on success.
+    pub fn seller_settle<R: Rng + ?Sized>(
+        &mut self,
+        owner: &DataOwner,
+        seller_listing: &SellerListing,
+        buyer_k_v: Fr,
+        rng: &mut R,
+    ) -> Result<(), ZkdetError> {
+        let secret = owner
+            .secret(seller_listing.token)
+            .ok_or(ZkdetError::MissingSecret(seller_listing.token))?;
+        // Honest-seller check mirroring Fig. 4: if the buyer's k_v does not
+        // match the h_v they locked, abort before proving.
+        let listing = self
+            .chain
+            .auction(&self.auction_addr)?
+            .listing(seller_listing.listing)?
+            .clone();
+        let locked_h_v = match &listing.state {
+            zkdet_chain::contracts::ListingState::Locked { h_v, .. } => *h_v,
+            _ => {
+                return Err(ZkdetError::Protocol(
+                    "listing is not locked by a buyer".into(),
+                ))
+            }
+        };
+        if Poseidon::hash(&[buyer_k_v]) != locked_h_v {
+            return Err(ZkdetError::Protocol(
+                "buyer's k_v does not match the locked h_v".into(),
+            ));
+        }
+
+        let key_commitment = Commitment(listing.key_commitment);
+        let k_c = secret.key + buyer_k_v;
+        let circuit = KeyNegotiationCircuit.synthesize(
+            secret.key,
+            buyer_k_v,
+            &key_commitment,
+            &seller_listing.key_opening,
+        );
+        let proof = Plonk::prove(&self.keyneg_pk, &circuit, rng)?;
+        self.chain.auction_settle_key_secure(
+            self.auction_addr,
+            self.nft_addr,
+            self.keyneg_verifier_addr,
+            owner.address,
+            seller_listing.listing,
+            k_c,
+            &proof,
+        )?;
+        self.chain.mine_block();
+        Ok(())
+    }
+
+    /// The blinded key `k_c` published for a listing, if settled.
+    pub fn published_k_c(&self, listing: ListingId) -> Option<Fr> {
+        for block in self.chain.blocks() {
+            for receipt in &block.receipts {
+                for event in &receipt.events {
+                    if let Event::KeyPublished { listing: l, k_c } = event {
+                        if *l == listing {
+                            return Some(*k_c);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Buyer recovery: unblinds `k = k_c − k_v`, fetches and decrypts the
+    /// ciphertext, and checks the result against the public record by
+    /// re-encrypting (binding through the CID and `π_e`).
+    pub fn buyer_recover(
+        &mut self,
+        buyer: &mut DataOwner,
+        session: &BuyerSession,
+    ) -> Result<Dataset, ZkdetError> {
+        let k_c = self
+            .published_k_c(session.listing)
+            .ok_or_else(|| ZkdetError::Protocol("listing not settled yet".into()))?;
+        let k = k_c - session.k_v;
+        let (ciphertext, _bundle) = self.fetch_artefacts(session.token)?;
+        let ctr = MimcCtr::new(k, ciphertext.nonce);
+        let plaintext = ctr.decrypt(&ciphertext);
+        // Defense in depth: re-encrypt and compare (the ciphertext is bound
+        // to the CID, the CID to the token, the token to π_e).
+        if ctr.encrypt(&plaintext) != ciphertext {
+            return Err(ZkdetError::Inconsistent(
+                "recovered key does not reproduce the public ciphertext".into(),
+            ));
+        }
+        let data = Dataset::from_entries(plaintext);
+        // Token should now belong to the buyer.
+        let owner_now = self.chain.nft(&self.nft_addr)?.owner_of(session.token)?;
+        if owner_now != session.buyer {
+            return Err(ZkdetError::Inconsistent(
+                "token was not transferred to the buyer".into(),
+            ));
+        }
+        let _ = session.expected_commitment;
+        buyer.learn_secret(
+            session.token,
+            crate::market::DatasetSecret {
+                key: k,
+                nonce: ciphertext.nonce,
+                // The buyer does not learn the original opening; a resale
+                // re-commits under fresh randomness.
+                opening: Opening(Fr::ZERO),
+                data: data.clone(),
+                commitment: Commitment(session.expected_commitment),
+            },
+        );
+        Ok(data)
+    }
+
+    /// Buyer refund path after a seller timeout (`REFUND_TIMEOUT_BLOCKS`).
+    pub fn buyer_refund(&mut self, session: &BuyerSession) -> Result<ExchangeOutcome, ZkdetError> {
+        self.chain
+            .auction_refund(self.auction_addr, session.buyer, session.listing)?;
+        Ok(ExchangeOutcome::Refunded)
+    }
+}

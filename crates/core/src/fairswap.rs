@@ -1,0 +1,397 @@
+//! The FairSwap baseline protocol (§VII-B related work).
+//!
+//! FairSwap (CCS'18) trades zero-knowledge for authenticated data
+//! structures: exchanges are optimistic and cheap, but (i) the key is
+//! revealed on-chain — the same leak as ZKCP — and (ii) disputes require
+//! the contract to re-execute a decryption and verify Merkle paths, so the
+//! dispute cost grows with the data size (`Θ(log n)` paths + one block
+//! decryption here; `Θ(|block|)` in general). The `fairswap_dispute`
+//! benchmark measures exactly that growth.
+
+use rand::Rng;
+use zkdet_chain::contracts::SwapId;
+use zkdet_chain::{Address, Receipt, Wei};
+use zkdet_crypto::mimc::MimcCtr;
+use zkdet_crypto::poseidon::Poseidon;
+use zkdet_crypto::MerkleTree;
+use zkdet_field::{Field, Fr};
+
+use crate::dataset::Dataset;
+use crate::error::ZkdetError;
+use crate::market::{DataOwner, Marketplace};
+
+/// Seller-side state for a FairSwap offer.
+#[derive(Clone, Debug)]
+pub struct FairSwapSeller {
+    /// The on-chain swap.
+    pub swap: SwapId,
+    /// Encryption key (revealed on-chain at settlement).
+    pub key: Fr,
+    /// CTR nonce.
+    pub nonce: Fr,
+    /// The plaintext.
+    pub data: Dataset,
+    /// Published ciphertext blocks (for reference).
+    pub ciphertext_blocks: Vec<Fr>,
+}
+
+/// Buyer-side state for a FairSwap purchase.
+#[derive(Clone, Debug)]
+pub struct FairSwapBuyer {
+    /// The on-chain swap.
+    pub swap: SwapId,
+    /// The buyer.
+    pub buyer: Address,
+    /// Merkle tree over the expected plaintext (the buyer knows what file
+    /// they are buying in FairSwap's model).
+    pub expected: MerkleTree,
+    /// The expected plaintext blocks.
+    pub expected_blocks: Vec<Fr>,
+    /// Merkle tree over the ciphertext the seller served off-chain.
+    pub ciphertext: MerkleTree,
+    /// The ciphertext blocks.
+    pub ciphertext_blocks: Vec<Fr>,
+    /// Escrowed payment.
+    pub payment: Wei,
+}
+
+impl Marketplace {
+    /// Deploys the FairSwap contract (once per deployment) and returns its
+    /// address. Idempotent via the caller storing the address.
+    pub fn deploy_fairswap_contract(&mut self) -> Address {
+        let operator = Address::from_seed(0);
+        let (addr, _) = self.chain.deploy_fairswap(operator);
+        addr
+    }
+
+    /// Seller makes a FairSwap offer for a dataset: encrypts it, Merkle-izes
+    /// ciphertext and plaintext, posts roots + `H(k)` on-chain, and serves
+    /// the ciphertext off-chain (returned for the buyer).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fairswap_offer<R: Rng + ?Sized>(
+        &mut self,
+        contract: Address,
+        seller: &DataOwner,
+        data: Dataset,
+        price: Wei,
+        rng: &mut R,
+    ) -> Result<(FairSwapSeller, Vec<Fr>), ZkdetError> {
+        let key = Fr::random(rng);
+        let nonce = Fr::random(rng);
+        let ciphertext = MimcCtr::new(key, nonce).encrypt(data.entries());
+        let root_c = MerkleTree::new(&ciphertext.blocks).root();
+        let root_d = MerkleTree::new(data.entries()).root();
+        let key_hash = Poseidon::hash(&[key]);
+        let (swap, _receipt) = self.chain.fairswap_offer(
+            contract,
+            seller.address,
+            price,
+            root_c,
+            root_d,
+            key_hash,
+            data.len(),
+            nonce,
+        )?;
+        Ok((
+            FairSwapSeller {
+                swap,
+                key,
+                nonce,
+                data,
+                ciphertext_blocks: ciphertext.blocks.clone(),
+            },
+            ciphertext.blocks,
+        ))
+    }
+
+    /// Buyer accepts: checks the served ciphertext against the on-chain
+    /// root, checks the plaintext root matches the file they expect, and
+    /// escrows the payment.
+    pub fn fairswap_accept(
+        &mut self,
+        contract: Address,
+        buyer: &DataOwner,
+        swap: SwapId,
+        served_ciphertext: Vec<Fr>,
+        expected_plaintext: &Dataset,
+    ) -> Result<FairSwapBuyer, ZkdetError> {
+        let on_chain = self.chain.fairswap(&contract)?.swap(swap)?.clone();
+        let ct_tree = MerkleTree::new(&served_ciphertext);
+        if ct_tree.root() != on_chain.root_c {
+            return Err(ZkdetError::Inconsistent(
+                "served ciphertext does not match the on-chain root".into(),
+            ));
+        }
+        let expected_tree = MerkleTree::new(expected_plaintext.entries());
+        if expected_tree.root() != on_chain.root_d {
+            return Err(ZkdetError::Inconsistent(
+                "offer is not for the expected file".into(),
+            ));
+        }
+        self.chain
+            .fairswap_accept(contract, buyer.address, swap, on_chain.price)?;
+        Ok(FairSwapBuyer {
+            swap,
+            buyer: buyer.address,
+            expected: expected_tree,
+            expected_blocks: expected_plaintext.entries().to_vec(),
+            ciphertext: ct_tree,
+            ciphertext_blocks: served_ciphertext,
+            payment: on_chain.price,
+        })
+    }
+
+    /// Seller reveals the key on-chain (public!).
+    pub fn fairswap_reveal(
+        &mut self,
+        contract: Address,
+        seller: &DataOwner,
+        state: &FairSwapSeller,
+    ) -> Result<Receipt, ZkdetError> {
+        let r = self
+            .chain
+            .fairswap_reveal(contract, seller.address, state.swap, state.key)?;
+        self.chain.mine_block();
+        Ok(r)
+    }
+
+    /// Buyer decrypts with the revealed key; on a bad block, submits the
+    /// proof of misbehaviour and gets refunded. Returns either the
+    /// plaintext or the dispute receipt.
+    pub fn fairswap_finish_or_dispute(
+        &mut self,
+        contract: Address,
+        state: &FairSwapBuyer,
+    ) -> Result<Result<Dataset, Receipt>, ZkdetError> {
+        let on_chain = self.chain.fairswap(&contract)?.swap(state.swap)?.clone();
+        let key = match on_chain.state {
+            zkdet_chain::contracts::SwapState::Revealed { key, .. } => key,
+            _ => {
+                return Err(ZkdetError::Protocol(
+                    "swap key has not been revealed".into(),
+                ))
+            }
+        };
+        let ctr = MimcCtr::new(key, on_chain.nonce);
+        let decrypted = ctr.decrypt(&zkdet_crypto::mimc::Ciphertext {
+            nonce: on_chain.nonce,
+            blocks: state.ciphertext_blocks.clone(),
+        });
+        // Find the first bad block, if any.
+        for (i, (got, want)) in decrypted.iter().zip(&state.expected_blocks).enumerate() {
+            if got != want {
+                let receipt = self.chain.fairswap_complain(
+                    contract,
+                    state.buyer,
+                    state.swap,
+                    i,
+                    state.ciphertext_blocks[i],
+                    &state.ciphertext.path(i),
+                    state.expected_blocks[i],
+                    &state.expected.path(i),
+                )?;
+                return Ok(Err(receipt));
+            }
+        }
+        Ok(Ok(Dataset::from_entries(decrypted)))
+    }
+
+    /// The key a FairSwap reveal disclosed on-chain, if any — same leak
+    /// surface as ZKCP.
+    pub fn fairswap_leaked_key(&self, contract: Address, swap: SwapId) -> Option<Fr> {
+        let s = self.chain.fairswap(&contract).ok()?.swap(swap).ok()?;
+        match &s.state {
+            zkdet_chain::contracts::SwapState::Revealed { key, .. } => Some(*key),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use zkdet_chain::contracts::COMPLAINT_WINDOW_BLOCKS;
+
+    fn setup() -> (Marketplace, DataOwner, DataOwner, Address, StdRng) {
+        let mut rng = StdRng::seed_from_u64(700);
+        let mut m = Marketplace::bootstrap(1 << 12, 4, &mut rng).unwrap();
+        let seller = m.register();
+        let buyer = m.register();
+        let fs = m.deploy_fairswap_contract();
+        (m, seller, buyer, fs, rng)
+    }
+
+    fn data(vals: &[u64]) -> Dataset {
+        Dataset::from_entries(vals.iter().map(|v| Fr::from(*v)).collect())
+    }
+
+    #[test]
+    fn honest_fairswap_completes() {
+        let (mut m, seller, buyer, fs, mut rng) = setup();
+        let d = data(&[1, 2, 3, 4]);
+        let (s_state, ct) = m
+            .fairswap_offer(fs, &seller, d.clone(), 500, &mut rng)
+            .unwrap();
+        let b_state = m
+            .fairswap_accept(fs, &buyer, s_state.swap, ct, &d)
+            .unwrap();
+        m.fairswap_reveal(fs, &seller, &s_state).unwrap();
+        let out = m.fairswap_finish_or_dispute(fs, &b_state).unwrap();
+        assert_eq!(out.unwrap(), d);
+        // Seller can collect after the window.
+        for _ in 0..=COMPLAINT_WINDOW_BLOCKS {
+            m.chain.mine_block();
+        }
+        let before = m.chain.state.balance(&seller.address);
+        m.chain
+            .fairswap_finalize(fs, seller.address, s_state.swap)
+            .unwrap();
+        assert_eq!(m.chain.state.balance(&seller.address), before + 500);
+        // The key is public — the inherent FairSwap/ZKCP leak.
+        assert!(m.fairswap_leaked_key(fs, s_state.swap).is_none()); // state moved to Completed
+    }
+
+    #[test]
+    fn cheating_seller_is_caught_by_complaint() {
+        let (mut m, seller, buyer, fs, mut rng) = setup();
+        let real = data(&[10, 20, 30, 40]);
+        // Seller offers the REAL roots but serves a tampered ciphertext…
+        // that won't match root_c, so instead: seller commits to a WRONG
+        // plaintext root by offering garbage data under the buyer's
+        // expected root — model the classic attack: encrypt garbage, post
+        // its ciphertext root, but claim the buyer's root_d.
+        let garbage = data(&[10, 20, 99, 40]); // block 2 is wrong
+        let key = Fr::from(777u64);
+        let nonce = Fr::from(1u64);
+        let ct = MimcCtr::new(key, nonce).encrypt(garbage.entries());
+        let root_c = MerkleTree::new(&ct.blocks).root();
+        let root_d = MerkleTree::new(real.entries()).root(); // lies!
+        let (swap, _) = m
+            .chain
+            .fairswap_offer(
+                fs,
+                seller.address,
+                500,
+                root_c,
+                root_d,
+                Poseidon::hash(&[key]),
+                4,
+                nonce,
+            )
+            .unwrap();
+        let b_state = m
+            .fairswap_accept(fs, &buyer, swap, ct.blocks.clone(), &real)
+            .unwrap();
+        let buyer_before = m.chain.state.balance(&buyer.address);
+        m.chain
+            .fairswap_reveal(fs, seller.address, swap, key)
+            .unwrap();
+        m.chain.mine_block();
+        let out = m.fairswap_finish_or_dispute(fs, &b_state).unwrap();
+        let receipt = out.expect_err("must dispute");
+        assert!(receipt.action.contains("complain"));
+        // Refund arrived.
+        assert_eq!(m.chain.state.balance(&buyer.address), buyer_before + 500);
+        let _ = rng;
+    }
+
+    #[test]
+    fn unfounded_complaint_rejected() {
+        let (mut m, seller, buyer, fs, mut rng) = setup();
+        let d = data(&[5, 6, 7, 8]);
+        let (s_state, ct) = m
+            .fairswap_offer(fs, &seller, d.clone(), 100, &mut rng)
+            .unwrap();
+        let b_state = m
+            .fairswap_accept(fs, &buyer, s_state.swap, ct, &d)
+            .unwrap();
+        m.fairswap_reveal(fs, &seller, &s_state).unwrap();
+        // Manually lodge a complaint about a correct block.
+        let err = m
+            .chain
+            .fairswap_complain(
+                fs,
+                buyer.address,
+                s_state.swap,
+                1,
+                b_state.ciphertext_blocks[1],
+                &b_state.ciphertext.path(1),
+                b_state.expected_blocks[1],
+                &b_state.expected.path(1),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            zkdet_chain::ChainError::ComplaintUnfounded(_)
+        ));
+    }
+
+    #[test]
+    fn fairswap_leaks_key_like_zkcp() {
+        let (mut m, seller, buyer, fs, mut rng) = setup();
+        let d = data(&[1, 2]);
+        let (s_state, ct) = m
+            .fairswap_offer(fs, &seller, d.clone(), 100, &mut rng)
+            .unwrap();
+        let _b = m
+            .fairswap_accept(fs, &buyer, s_state.swap, ct.clone(), &d)
+            .unwrap();
+        m.fairswap_reveal(fs, &seller, &s_state).unwrap();
+        // Any observer reads the key and decrypts.
+        let k = m.fairswap_leaked_key(fs, s_state.swap).expect("leaked");
+        let stolen = MimcCtr::new(k, s_state.nonce).decrypt(&zkdet_crypto::mimc::Ciphertext {
+            nonce: s_state.nonce,
+            blocks: ct,
+        });
+        assert_eq!(Dataset::from_entries(stolen), d);
+    }
+
+    #[test]
+    fn dispute_gas_grows_with_data_size() {
+        // The paper's critique: dispute verification cost grows with size.
+        let (mut m, seller, buyer, fs, _rng) = setup();
+        let mut gas_at = vec![];
+        for log_n in [2u32, 6, 10] {
+            let n = 1usize << log_n;
+            let mut vals: Vec<u64> = (0..n as u64).collect();
+            let real = data(&vals);
+            vals[0] = 999_999; // corrupt block 0
+            let garbage = data(&vals);
+            let key = Fr::from(42u64 + log_n as u64);
+            let nonce = Fr::from(9u64);
+            let ct = MimcCtr::new(key, nonce).encrypt(garbage.entries());
+            let root_c = MerkleTree::new(&ct.blocks).root();
+            let root_d = MerkleTree::new(real.entries()).root();
+            let (swap, _) = m
+                .chain
+                .fairswap_offer(
+                    fs,
+                    seller.address,
+                    10,
+                    root_c,
+                    root_d,
+                    Poseidon::hash(&[key]),
+                    n,
+                    nonce,
+                )
+                .unwrap();
+            let b_state = m
+                .fairswap_accept(fs, &buyer, swap, ct.blocks.clone(), &real)
+                .unwrap();
+            m.chain
+                .fairswap_reveal(fs, seller.address, swap, key)
+                .unwrap();
+            m.chain.mine_block();
+            let receipt = m
+                .fairswap_finish_or_dispute(fs, &b_state)
+                .unwrap()
+                .expect_err("disputes");
+            gas_at.push(receipt.gas_used);
+        }
+        assert!(
+            gas_at[0] < gas_at[1] && gas_at[1] < gas_at[2],
+            "dispute gas must grow with data size: {gas_at:?}"
+        );
+    }
+}

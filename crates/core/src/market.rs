@@ -1,0 +1,843 @@
+//! The ZKDET marketplace: deployment state plus the generic
+//! data-transformation protocol (§IV-B).
+//!
+//! A [`Marketplace`] bundles the storage network, the chain (with the NFT,
+//! auction and π_k-verifier contracts deployed), the universal SRS, and a
+//! registry of preprocessed circuit keys per relation *shape*. Shapes
+//! depend only on public sizes, so keys are derived once and reused — the
+//! universal-setup property the paper evaluates in Fig. 5.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::Rng;
+use zkdet_chain::{Address, Blockchain, TokenId, TokenMeta, TransformKind};
+use zkdet_circuits::exchange::KeyNegotiationCircuit;
+use zkdet_circuits::{AggregationCircuit, DuplicationCircuit, EncryptionCircuit, PartitionCircuit};
+use zkdet_crypto::commitment::{Commitment, CommitmentScheme, Opening};
+use zkdet_crypto::mimc::{Ciphertext, MimcCtr};
+use zkdet_field::{Field, Fr};
+use zkdet_kzg::Srs;
+use zkdet_plonk::{Plonk, Proof, ProvingKey, VerifyingKey};
+use zkdet_storage::{PinOwner, StorageNetwork};
+
+use crate::bundle::{ProofBundle, TransformProof};
+use crate::codec::{decode_ciphertext, encode_ciphertext};
+use crate::dataset::Dataset;
+use crate::error::ZkdetError;
+
+/// Seller-side secrets for one published dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetSecret {
+    /// MiMC-CTR key.
+    pub key: Fr,
+    /// CTR nonce (public, but kept here for convenience).
+    pub nonce: Fr,
+    /// Commitment blinder `o_d`.
+    pub opening: Opening,
+    /// The plaintext itself.
+    pub data: Dataset,
+    /// The published commitment `c_d`.
+    pub commitment: Commitment,
+}
+
+/// A marketplace participant: an on-chain account plus locally held
+/// dataset secrets.
+#[derive(Clone, Debug)]
+pub struct DataOwner {
+    /// On-chain account address.
+    pub address: Address,
+    /// Storage pin identity.
+    pub pin: PinOwner,
+    secrets: HashMap<TokenId, DatasetSecret>,
+}
+
+impl DataOwner {
+    /// The secrets held for a token, if this owner published it.
+    pub fn secret(&self, token: TokenId) -> Option<&DatasetSecret> {
+        self.secrets.get(&token)
+    }
+
+    /// Records secrets for a token (used when keys are handed over
+    /// off-chain after an exchange).
+    pub fn learn_secret(&mut self, token: TokenId, secret: DatasetSecret) {
+        self.secrets.insert(token, secret);
+    }
+}
+
+/// Result of auditing a token's provenance chain (§III-B, Fig. 3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvenanceReport {
+    /// Every token whose proofs were checked, in audit (BFS) order,
+    /// starting with the audited token itself.
+    pub verified_tokens: Vec<TokenId>,
+    /// Number of transformation edges traversed.
+    pub transform_edges: usize,
+}
+
+/// Cache key for preprocessed circuit shapes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Shape {
+    Enc(usize),
+    Dup(usize),
+    Agg(Vec<usize>),
+    Part(Vec<usize>),
+}
+
+/// The assembled ZKDET deployment.
+pub struct Marketplace {
+    /// The universal SRS (Fig. 5's one-time ceremony output).
+    pub srs: Arc<Srs>,
+    /// The public storage network.
+    pub storage: StorageNetwork,
+    /// The chain with contracts deployed.
+    pub chain: Blockchain,
+    /// The data-NFT contract address.
+    pub nft_addr: Address,
+    /// The clock-auction contract address.
+    pub auction_addr: Address,
+    /// The on-chain verifier for the π_k relation.
+    pub keyneg_verifier_addr: Address,
+    /// Proving key for π_k.
+    pub(crate) keyneg_pk: ProvingKey,
+    /// Verifying key for π_k (also embedded in the verifier contract).
+    pub keyneg_vk: VerifyingKey,
+    keys: HashMap<Shape, Arc<(ProvingKey, VerifyingKey)>>,
+    /// Registered processing relations (§IV-D 4): formula name → vk.
+    processing_vks: HashMap<String, VerifyingKey>,
+    next_owner_seed: u64,
+}
+
+impl Marketplace {
+    /// Bootstraps a deployment: runs the universal setup for circuits of up
+    /// to `max_constraints` gates, spins up `storage_nodes` storage nodes,
+    /// deploys the NFT + auction + π_k-verifier contracts from an operator
+    /// account.
+    pub fn bootstrap<R: Rng + ?Sized>(
+        max_constraints: usize,
+        storage_nodes: usize,
+        rng: &mut R,
+    ) -> Result<Self, ZkdetError> {
+        let srs = Arc::new(Srs::universal_setup(max_constraints + 8, rng));
+        let storage = StorageNetwork::new(storage_nodes);
+        let mut chain = Blockchain::new();
+        let operator = Address::from_seed(0);
+        chain.state.fund(operator, 1_000_000_000_000);
+        let (nft_addr, _) = chain.deploy_nft(operator);
+        let (auction_addr, _) = chain.deploy_auction(operator);
+
+        // Preprocess the (fixed-shape) π_k relation and deploy its verifier.
+        let dummy_key = Fr::from(1u64);
+        let (c, o) = CommitmentScheme::commit_scalar(dummy_key, rng);
+        let circuit = KeyNegotiationCircuit.synthesize(dummy_key, Fr::from(2u64), &c, &o);
+        let (keyneg_pk, keyneg_vk) = Plonk::preprocess(&srs, &circuit)?;
+        let (keyneg_verifier_addr, _) = chain.deploy_verifier(operator, keyneg_vk.clone());
+        chain.mine_block();
+
+        Ok(Marketplace {
+            srs,
+            storage,
+            chain,
+            nft_addr,
+            auction_addr,
+            keyneg_verifier_addr,
+            keyneg_pk,
+            keyneg_vk,
+            keys: HashMap::new(),
+            processing_vks: HashMap::new(),
+            next_owner_seed: 1,
+        })
+    }
+
+    /// Registers a processing relation `f` (public setup data): auditors
+    /// will verify `Processing` edges claiming this formula against `vk`.
+    pub fn register_processing_relation(&mut self, formula: impl Into<String>, vk: VerifyingKey) {
+        self.processing_vks.insert(formula.into(), vk);
+    }
+
+    /// Publishes a dataset derived by a registered processing relation
+    /// (model training, §IV-E). The caller supplies the transformation
+    /// proof and its statement; the statement convention is
+    /// `[c_{s₁}, …, c_{sₓ}, c_d, extra…]` and is checked during audits.
+    #[allow(clippy::too_many_arguments)]
+    pub fn publish_processed<R: Rng + ?Sized>(
+        &mut self,
+        owner: &mut DataOwner,
+        source_tokens: &[TokenId],
+        derived: Dataset,
+        formula: impl Into<String>,
+        proof: Proof,
+        publics: Vec<Fr>,
+        derived_commitment: Commitment,
+        derived_opening: Opening,
+        rng: &mut R,
+    ) -> Result<TokenId, ZkdetError> {
+        let formula = formula.into();
+        if !self.processing_vks.contains_key(&formula) {
+            return Err(ZkdetError::Protocol(format!(
+                "processing relation '{formula}' is not registered"
+            )));
+        }
+        // The derived commitment must sit at position x (after the parents).
+        if publics.get(source_tokens.len()) != Some(&derived_commitment.0) {
+            return Err(ZkdetError::Inconsistent(
+                "derived commitment not at the conventional statement position".into(),
+            ));
+        }
+        // Encrypt the derived dataset under a fresh key, reusing the given
+        // commitment (the processing circuit already committed to it).
+        let key = Fr::random(rng);
+        let nonce = Fr::random(rng);
+        let ciphertext = MimcCtr::new(key, nonce).encrypt(derived.entries());
+        let keys = self.enc_keys(derived.len(), rng)?;
+        let circuit = EncryptionCircuit::new(derived.len()).synthesize(
+            derived.entries(),
+            key,
+            &ciphertext,
+            &derived_commitment,
+            &derived_opening,
+        );
+        let pi_e = Plonk::prove(&keys.0, &circuit, rng)?;
+        let secret = DatasetSecret {
+            key,
+            nonce,
+            opening: derived_opening,
+            data: derived.clone(),
+            commitment: derived_commitment,
+        };
+        let bundle = ProofBundle {
+            pi_e,
+            len: derived.len(),
+            pi_t: Some(TransformProof::Processing {
+                formula: formula.clone(),
+                publics,
+                proof,
+            }),
+        };
+        self.mint_with_bundle(
+            owner,
+            secret,
+            ciphertext,
+            bundle,
+            TransformKind::Processing(formula),
+            source_tokens.to_vec(),
+        )
+    }
+
+    /// Registers a funded participant.
+    pub fn register(&mut self) -> DataOwner {
+        let seed = self.next_owner_seed;
+        self.next_owner_seed += 1;
+        let address = Address::from_seed(seed);
+        self.chain.state.fund(address, 1_000_000_000);
+        DataOwner {
+            address,
+            pin: PinOwner(seed),
+            secrets: HashMap::new(),
+        }
+    }
+
+    fn keys_for(
+        &mut self,
+        shape: Shape,
+        synthesize: impl FnOnce() -> zkdet_plonk::CompiledCircuit,
+    ) -> Result<Arc<(ProvingKey, VerifyingKey)>, ZkdetError> {
+        if let Some(k) = self.keys.get(&shape) {
+            return Ok(k.clone());
+        }
+        let circuit = synthesize();
+        let keys = Arc::new(Plonk::preprocess(&self.srs, &circuit)?);
+        self.keys.insert(shape, keys.clone());
+        Ok(keys)
+    }
+
+    fn enc_keys(
+        &mut self,
+        n: usize,
+        rng: &mut (impl Rng + ?Sized),
+    ) -> Result<Arc<(ProvingKey, VerifyingKey)>, ZkdetError> {
+        // Dummy instance with the right shape for preprocessing.
+        let plaintext = vec![Fr::ZERO; n];
+        let key = Fr::random(rng);
+        let nonce = Fr::random(rng);
+        let ct = MimcCtr::new(key, nonce).encrypt(&plaintext);
+        let (c, o) = CommitmentScheme::commit(&plaintext, rng);
+        self.keys_for(Shape::Enc(n), || {
+            EncryptionCircuit::new(n).synthesize(&plaintext, key, &ct, &c, &o)
+        })
+    }
+
+    /// Encrypts, commits, proves and publishes a dataset end-to-end,
+    /// producing the token (§IV-B step 1 + §III-A binding).
+    pub fn publish_original<R: Rng + ?Sized>(
+        &mut self,
+        owner: &mut DataOwner,
+        data: Dataset,
+        rng: &mut R,
+    ) -> Result<TokenId, ZkdetError> {
+        let (secret, ciphertext, pi_e) = self.encrypt_and_prove(&data, rng)?;
+        let bundle = ProofBundle {
+            pi_e,
+            len: data.len(),
+            pi_t: None,
+        };
+        self.mint_with_bundle(
+            owner,
+            secret,
+            ciphertext,
+            bundle,
+            TransformKind::Original,
+            vec![],
+        )
+    }
+
+    /// Shared §IV-B step-1/3 logic: fresh key + nonce, MiMC-CTR encryption,
+    /// Poseidon commitment, and `π_e`.
+    fn encrypt_and_prove<R: Rng + ?Sized>(
+        &mut self,
+        data: &Dataset,
+        rng: &mut R,
+    ) -> Result<(DatasetSecret, Ciphertext, Proof), ZkdetError> {
+        let key = Fr::random(rng);
+        let nonce = Fr::random(rng);
+        let ciphertext = MimcCtr::new(key, nonce).encrypt(data.entries());
+        let (commitment, opening) = CommitmentScheme::commit(data.entries(), rng);
+        let keys = self.enc_keys(data.len(), rng)?;
+        let circuit = EncryptionCircuit::new(data.len()).synthesize(
+            data.entries(),
+            key,
+            &ciphertext,
+            &commitment,
+            &opening,
+        );
+        let pi_e = Plonk::prove(&keys.0, &circuit, rng)?;
+        Ok((
+            DatasetSecret {
+                key,
+                nonce,
+                opening,
+                data: data.clone(),
+                commitment,
+            },
+            ciphertext,
+            pi_e,
+        ))
+    }
+
+    /// Uploads ciphertext + bundle and mints the token.
+    fn mint_with_bundle(
+        &mut self,
+        owner: &mut DataOwner,
+        secret: DatasetSecret,
+        ciphertext: Ciphertext,
+        bundle: ProofBundle,
+        kind: TransformKind,
+        prev_ids: Vec<TokenId>,
+    ) -> Result<TokenId, ZkdetError> {
+        let cid = self.storage.publish(owner.pin, encode_ciphertext(&ciphertext));
+        let proof_cid = self.storage.publish(owner.pin, bundle.to_bytes());
+        let meta = TokenMeta {
+            cid,
+            commitment: secret.commitment.0,
+            prev_ids,
+            kind,
+            proof_cid: Some(proof_cid),
+        };
+        let (token, _receipt) = self.chain.nft_mint(self.nft_addr, owner.address, meta)?;
+        owner.secrets.insert(token, secret);
+        Ok(token)
+    }
+
+    /// Duplication (§IV-D 1): replicates a dataset under a fresh key and
+    /// commitment, proving `D = S` over the two commitments.
+    pub fn duplicate<R: Rng + ?Sized>(
+        &mut self,
+        owner: &mut DataOwner,
+        source_token: TokenId,
+        rng: &mut R,
+    ) -> Result<TokenId, ZkdetError> {
+        let src = owner
+            .secrets
+            .get(&source_token)
+            .ok_or(ZkdetError::MissingSecret(source_token))?
+            .clone();
+        let data = src.data.clone();
+        let (secret, ciphertext, pi_e) = self.encrypt_and_prove(&data, rng)?;
+        let n = data.len();
+        let shape = DuplicationCircuit::new(n);
+        let keys = {
+            let (ds, c_s, o_s, c_d, o_d) = (
+                data.entries().to_vec(),
+                src.commitment,
+                src.opening,
+                secret.commitment,
+                secret.opening,
+            );
+            self.keys_for(Shape::Dup(n), || {
+                shape.synthesize(&ds, &c_s, &o_s, &c_d, &o_d)
+            })?
+        };
+        let circuit = shape.synthesize(
+            data.entries(),
+            &src.commitment,
+            &src.opening,
+            &secret.commitment,
+            &secret.opening,
+        );
+        let proof = Plonk::prove(&keys.0, &circuit, rng)?;
+        let bundle = ProofBundle {
+            pi_e,
+            len: n,
+            pi_t: Some(TransformProof::Duplication { len: n, proof }),
+        };
+        self.mint_with_bundle(
+            owner,
+            secret,
+            ciphertext,
+            bundle,
+            TransformKind::Duplication,
+            vec![source_token],
+        )
+    }
+
+    /// Aggregation (§IV-D 2): merges datasets in token order into a new
+    /// derived dataset `D = S₁ ‖ … ‖ Sₓ`.
+    pub fn aggregate<R: Rng + ?Sized>(
+        &mut self,
+        owner: &mut DataOwner,
+        source_tokens: &[TokenId],
+        rng: &mut R,
+    ) -> Result<TokenId, ZkdetError> {
+        if source_tokens.len() < 2 {
+            return Err(ZkdetError::Protocol(
+                "aggregation needs at least two sources".into(),
+            ));
+        }
+        let sources: Vec<DatasetSecret> = source_tokens
+            .iter()
+            .map(|t| {
+                owner
+                    .secrets
+                    .get(t)
+                    .cloned()
+                    .ok_or(ZkdetError::MissingSecret(*t))
+            })
+            .collect::<Result<_, _>>()?;
+        let datasets: Vec<Dataset> = sources.iter().map(|s| s.data.clone()).collect();
+        let merged = Dataset::concat(&datasets);
+        let (secret, ciphertext, pi_e) = self.encrypt_and_prove(&merged, rng)?;
+
+        let source_lens: Vec<usize> = datasets.iter().map(|d| d.len()).collect();
+        let shape = AggregationCircuit::new(source_lens.clone());
+        let source_entries: Vec<Vec<Fr>> =
+            datasets.iter().map(|d| d.entries().to_vec()).collect();
+        let source_commits: Vec<(Commitment, Opening)> = sources
+            .iter()
+            .map(|s| (s.commitment, s.opening))
+            .collect();
+        let keys = {
+            let (se, sc, cd, od) = (
+                source_entries.clone(),
+                source_commits.clone(),
+                secret.commitment,
+                secret.opening,
+            );
+            let shape2 = shape.clone();
+            self.keys_for(Shape::Agg(source_lens), || {
+                shape2.synthesize(&se, &sc, &cd, &od)
+            })?
+        };
+        let circuit = shape.synthesize(
+            &source_entries,
+            &source_commits,
+            &secret.commitment,
+            &secret.opening,
+        );
+        let proof = Plonk::prove(&keys.0, &circuit, rng)?;
+        let bundle = ProofBundle {
+            pi_e,
+            len: merged.len(),
+            pi_t: Some(TransformProof::Aggregation {
+                source_lens: shape.source_lens.clone(),
+                proof,
+            }),
+        };
+        self.mint_with_bundle(
+            owner,
+            secret,
+            ciphertext,
+            bundle,
+            TransformKind::Aggregation,
+            source_tokens.to_vec(),
+        )
+    }
+
+    /// Partition (§IV-D 3): splits a dataset into consecutive parts, each
+    /// minted as its own token carrying the shared partition proof.
+    pub fn partition<R: Rng + ?Sized>(
+        &mut self,
+        owner: &mut DataOwner,
+        source_token: TokenId,
+        sizes: &[usize],
+        rng: &mut R,
+    ) -> Result<Vec<TokenId>, ZkdetError> {
+        let src = owner
+            .secrets
+            .get(&source_token)
+            .ok_or(ZkdetError::MissingSecret(source_token))?
+            .clone();
+        if sizes.iter().sum::<usize>() != src.data.len() || sizes.iter().any(|s| *s == 0) {
+            return Err(ZkdetError::Protocol(
+                "partition sizes must be non-empty and cover the dataset".into(),
+            ));
+        }
+        let parts = src.data.split(sizes);
+        // Encrypt + π_e per part.
+        let mut encrypted = Vec::with_capacity(parts.len());
+        for part in &parts {
+            encrypted.push(self.encrypt_and_prove(part, rng)?);
+        }
+        let part_commits: Vec<(Commitment, Opening)> = encrypted
+            .iter()
+            .map(|(s, _, _)| (s.commitment, s.opening))
+            .collect();
+        let part_commitment_values: Vec<Fr> =
+            part_commits.iter().map(|(c, _)| c.0).collect();
+
+        // One shared partition proof.
+        let shape = PartitionCircuit::new(sizes.to_vec());
+        let keys = {
+            let (se, cs, os, pc) = (
+                src.data.entries().to_vec(),
+                src.commitment,
+                src.opening,
+                part_commits.clone(),
+            );
+            let shape2 = shape.clone();
+            self.keys_for(Shape::Part(sizes.to_vec()), || {
+                shape2.synthesize(&se, &cs, &os, &pc)
+            })?
+        };
+        let circuit = shape.synthesize(
+            src.data.entries(),
+            &src.commitment,
+            &src.opening,
+            &part_commits,
+        );
+        let proof = Plonk::prove(&keys.0, &circuit, rng)?;
+
+        let mut tokens = Vec::with_capacity(parts.len());
+        for (idx, (secret, ciphertext, pi_e)) in encrypted.into_iter().enumerate() {
+            let bundle = ProofBundle {
+                pi_e,
+                len: sizes[idx],
+                pi_t: Some(TransformProof::Partition {
+                    part_lens: sizes.to_vec(),
+                    part_index: idx,
+                    part_commitments: part_commitment_values.clone(),
+                    proof: proof.clone(),
+                }),
+            };
+            let token = self.mint_with_bundle(
+                owner,
+                secret,
+                ciphertext,
+                bundle,
+                TransformKind::Partition,
+                vec![source_token],
+            )?;
+            tokens.push(token);
+        }
+        Ok(tokens)
+    }
+
+    /// Fetches a token's public artefacts: `(ciphertext, bundle)`.
+    pub fn fetch_artefacts(&self, token: TokenId) -> Result<(Ciphertext, ProofBundle), ZkdetError> {
+        let meta = self.chain.nft(&self.nft_addr)?.token_meta(token)?.clone();
+        let ct_bytes = self.storage.retrieve(&meta.cid)?;
+        let ciphertext = decode_ciphertext(&ct_bytes)?;
+        let proof_cid = meta
+            .proof_cid
+            .ok_or_else(|| ZkdetError::Inconsistent(format!("token {token} has no proof")))?;
+        let bundle_bytes = self.storage.retrieve(&proof_cid)?;
+        let bundle = ProofBundle::from_bytes(&bundle_bytes)?;
+        Ok((ciphertext, bundle))
+    }
+
+    /// Third-party audit (§III-B / Fig. 3): verifies a token's proof of
+    /// encryption against the public ciphertext and on-chain commitment,
+    /// verifies its transformation proof against the parents' commitments,
+    /// and recurses up the `prevIds[]` chain to the sources.
+    ///
+    /// Needs only public data — no plaintexts, keys or openings.
+    pub fn audit_token<R: Rng + ?Sized>(
+        &mut self,
+        token: TokenId,
+        rng: &mut R,
+    ) -> Result<ProvenanceReport, ZkdetError> {
+        let (checks, report) = self.collect_audit_checks(token, rng)?;
+        for (vk, publics, proof, what) in &checks {
+            if !Plonk::verify(vk, publics, proof) {
+                return Err(ZkdetError::ProofInvalid(what));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Like [`Self::audit_token`], but folds every proof in the lineage
+    /// into a **single** pairing check via [`Plonk::batch_verify`] — the
+    /// fast path for long chains (Fig. 3). On failure it reports only that
+    /// *some* proof is invalid; re-run `audit_token` to localise it.
+    pub fn audit_token_batched<R: Rng + ?Sized>(
+        &mut self,
+        token: TokenId,
+        rng: &mut R,
+    ) -> Result<ProvenanceReport, ZkdetError> {
+        let (checks, report) = self.collect_audit_checks(token, rng)?;
+        let items: Vec<(&VerifyingKey, &[Fr], &Proof)> = checks
+            .iter()
+            .map(|(vk, publics, proof, _)| (&**vk, publics.as_slice(), proof))
+            .collect();
+        if !Plonk::batch_verify(&items, rng) {
+            return Err(ZkdetError::ProofInvalid(
+                "batched lineage verification (re-run audit_token to localise)",
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Walks the lineage collecting `(vk, statement, proof, label)` tuples
+    /// plus the structural report; shared by both audit modes. Performs all
+    /// non-cryptographic integrity checks (digests, lengths, statement
+    /// consistency) eagerly.
+    #[allow(clippy::type_complexity)]
+    fn collect_audit_checks<R: Rng + ?Sized>(
+        &mut self,
+        token: TokenId,
+        rng: &mut R,
+    ) -> Result<
+        (
+            Vec<(std::sync::Arc<VerifyingKey>, Vec<Fr>, Proof, &'static str)>,
+            ProvenanceReport,
+        ),
+        ZkdetError,
+    > {
+        let mut checks: Vec<(std::sync::Arc<VerifyingKey>, Vec<Fr>, Proof, &'static str)> =
+            Vec::new();
+        let mut verified = Vec::new();
+        let mut edges = 0usize;
+        let mut queue = std::collections::VecDeque::from([token]);
+        let mut seen = std::collections::HashSet::from([token]);
+        while let Some(cur) = queue.pop_front() {
+            let meta = self.chain.nft(&self.nft_addr)?.token_meta(cur)?.clone();
+            let (ciphertext, bundle) = self.fetch_artefacts(cur)?;
+
+            // π_e: ciphertext matches the committed plaintext.
+            if ciphertext.blocks.len() != bundle.len {
+                return Err(ZkdetError::Inconsistent(format!(
+                    "token {cur}: ciphertext length {} vs bundle length {}",
+                    ciphertext.blocks.len(),
+                    bundle.len
+                )));
+            }
+            let enc_keys = self.enc_keys(bundle.len, rng)?;
+            let enc_shape = EncryptionCircuit::new(bundle.len);
+            let commitment = Commitment(meta.commitment);
+            checks.push((
+                std::sync::Arc::new(enc_keys.1.clone()),
+                enc_shape.public_inputs(&ciphertext, &commitment),
+                bundle.pi_e.clone(),
+                "π_e",
+            ));
+
+            // π_t: the transformation relating this token to its parents.
+            let parent_commitments: Vec<Fr> = meta
+                .prev_ids
+                .iter()
+                .map(|p| {
+                    self.chain
+                        .nft(&self.nft_addr)
+                        .and_then(|n| n.token_meta(*p))
+                        .map(|m| m.commitment)
+                        .map_err(ZkdetError::from)
+                })
+                .collect::<Result<_, _>>()?;
+            match (&meta.kind, &bundle.pi_t) {
+                (TransformKind::Original, None) => {}
+                (TransformKind::Duplication, Some(TransformProof::Duplication { len, proof })) => {
+                    let shape = DuplicationCircuit::new(*len);
+                    let keys = self.dup_keys(*len, rng)?;
+                    let publics = shape.public_inputs(
+                        &Commitment(parent_commitments[0]),
+                        &commitment,
+                    );
+                    checks.push((
+                        std::sync::Arc::new(keys.1.clone()),
+                        publics,
+                        proof.clone(),
+                        "π_t (duplication)",
+                    ));
+                    edges += 1;
+                }
+                (
+                    TransformKind::Aggregation,
+                    Some(TransformProof::Aggregation { source_lens, proof }),
+                ) => {
+                    let shape = AggregationCircuit::new(source_lens.clone());
+                    let keys = self.agg_keys(source_lens.clone(), rng)?;
+                    let parents: Vec<Commitment> =
+                        parent_commitments.iter().map(|c| Commitment(*c)).collect();
+                    let publics = shape.public_inputs(&commitment, &parents);
+                    checks.push((
+                        std::sync::Arc::new(keys.1.clone()),
+                        publics,
+                        proof.clone(),
+                        "π_t (aggregation)",
+                    ));
+                    edges += 1;
+                }
+                (
+                    TransformKind::Partition,
+                    Some(TransformProof::Partition {
+                        part_lens,
+                        part_index,
+                        part_commitments,
+                        proof,
+                    }),
+                ) => {
+                    if part_commitments.get(*part_index) != Some(&meta.commitment) {
+                        return Err(ZkdetError::Inconsistent(format!(
+                            "token {cur}: partition index does not match its commitment"
+                        )));
+                    }
+                    let shape = PartitionCircuit::new(part_lens.clone());
+                    let keys = self.part_keys(part_lens.clone(), rng)?;
+                    let parts: Vec<Commitment> =
+                        part_commitments.iter().map(|c| Commitment(*c)).collect();
+                    let publics =
+                        shape.public_inputs(&Commitment(parent_commitments[0]), &parts);
+                    checks.push((
+                        std::sync::Arc::new(keys.1.clone()),
+                        publics,
+                        proof.clone(),
+                        "π_t (partition)",
+                    ));
+                    edges += 1;
+                }
+                (
+                    TransformKind::Processing(kind_formula),
+                    Some(TransformProof::Processing {
+                        formula,
+                        publics,
+                        proof,
+                    }),
+                ) => {
+                    if kind_formula != formula {
+                        return Err(ZkdetError::Inconsistent(format!(
+                            "token {cur}: on-chain formula '{kind_formula}' vs bundle '{formula}'"
+                        )));
+                    }
+                    let vk = self.processing_vks.get(formula).ok_or_else(|| {
+                        ZkdetError::Protocol(format!(
+                            "processing relation '{formula}' is not registered"
+                        ))
+                    })?;
+                    // Statement convention: parents' commitments first, then
+                    // the derived commitment.
+                    for (i, pc) in parent_commitments.iter().enumerate() {
+                        if publics.get(i) != Some(pc) {
+                            return Err(ZkdetError::Inconsistent(format!(
+                                "token {cur}: processing statement omits parent {i}"
+                            )));
+                        }
+                    }
+                    if publics.get(parent_commitments.len()) != Some(&meta.commitment) {
+                        return Err(ZkdetError::Inconsistent(format!(
+                            "token {cur}: processing statement omits the derived commitment"
+                        )));
+                    }
+                    checks.push((
+                        std::sync::Arc::new(vk.clone()),
+                        publics.clone(),
+                        proof.clone(),
+                        "π_t (processing)",
+                    ));
+                    edges += 1;
+                }
+                _ => {
+                    return Err(ZkdetError::Inconsistent(format!(
+                        "token {cur}: transformation kind does not match proof bundle"
+                    )))
+                }
+            }
+
+            verified.push(cur);
+            for p in meta.prev_ids {
+                if seen.insert(p) {
+                    queue.push_back(p);
+                }
+            }
+        }
+        Ok((
+            checks,
+            ProvenanceReport {
+                verified_tokens: verified,
+                transform_edges: edges,
+            },
+        ))
+    }
+
+    fn dup_keys(
+        &mut self,
+        n: usize,
+        rng: &mut (impl Rng + ?Sized),
+    ) -> Result<Arc<(ProvingKey, VerifyingKey)>, ZkdetError> {
+        let data: Vec<Fr> = vec![Fr::ZERO; n];
+        let (c_s, o_s) = CommitmentScheme::commit(&data, rng);
+        let (c_d, o_d) = CommitmentScheme::commit(&data, rng);
+        self.keys_for(Shape::Dup(n), || {
+            DuplicationCircuit::new(n).synthesize(&data, &c_s, &o_s, &c_d, &o_d)
+        })
+    }
+
+    fn agg_keys(
+        &mut self,
+        lens: Vec<usize>,
+        rng: &mut (impl Rng + ?Sized),
+    ) -> Result<Arc<(ProvingKey, VerifyingKey)>, ZkdetError> {
+        let sources: Vec<Vec<Fr>> = lens.iter().map(|l| vec![Fr::ZERO; *l]).collect();
+        let commits: Vec<(Commitment, Opening)> = sources
+            .iter()
+            .map(|s| CommitmentScheme::commit(s, rng))
+            .collect();
+        let merged: Vec<Fr> = sources.iter().flatten().copied().collect();
+        let (c_d, o_d) = CommitmentScheme::commit(&merged, rng);
+        let shape = AggregationCircuit::new(lens.clone());
+        self.keys_for(Shape::Agg(lens), || {
+            shape.synthesize(&sources, &commits, &c_d, &o_d)
+        })
+    }
+
+    fn part_keys(
+        &mut self,
+        lens: Vec<usize>,
+        rng: &mut (impl Rng + ?Sized),
+    ) -> Result<Arc<(ProvingKey, VerifyingKey)>, ZkdetError> {
+        let total: usize = lens.iter().sum();
+        let data: Vec<Fr> = vec![Fr::ZERO; total];
+        let (c_s, o_s) = CommitmentScheme::commit(&data, rng);
+        let mut offset = 0;
+        let commits: Vec<(Commitment, Opening)> = lens
+            .iter()
+            .map(|l| {
+                let c = CommitmentScheme::commit(&data[offset..offset + l], rng);
+                offset += l;
+                c
+            })
+            .collect();
+        let shape = PartitionCircuit::new(lens.clone());
+        self.keys_for(Shape::Part(lens), || {
+            shape.synthesize(&data, &c_s, &o_s, &commits)
+        })
+    }
+}

@@ -1,0 +1,166 @@
+//! The ZKCP baseline protocol (§III-C) — and its key-disclosure flaw.
+//!
+//! The classic Zero-Knowledge Contingent Payment achieves fair exchange,
+//! but its *Open* phase forces the seller to reveal `k` to the arbiter
+//! contract. With the ciphertext on public storage, **anyone** can then
+//! decrypt the dataset. This module implements the baseline faithfully so
+//! the evaluation can compare it against the key-secure protocol, and
+//! exposes [`Marketplace::adversary_decrypt_via_leak`] to demonstrate the
+//! attack the paper's protocol eliminates.
+
+use rand::Rng;
+use zkdet_chain::contracts::ListingId;
+use zkdet_chain::Wei;
+use zkdet_crypto::mimc::MimcCtr;
+use zkdet_crypto::poseidon::Poseidon;
+use zkdet_field::Fr;
+
+use crate::dataset::Dataset;
+use crate::error::ZkdetError;
+use crate::exchange::{SellerListing, ValidationPackage};
+use crate::market::{DataOwner, Marketplace};
+
+/// Buyer-side state for a ZKCP purchase.
+#[derive(Clone, Debug)]
+pub struct ZkcpBuyerSession {
+    /// The listing being bought.
+    pub listing: ListingId,
+    /// The token being bought.
+    pub token: zkdet_chain::TokenId,
+    /// The key hash `h = H(k)` the payment is contingent on.
+    pub key_hash: Fr,
+    /// Escrowed price.
+    pub price: Wei,
+    /// Buyer address.
+    pub buyer: zkdet_chain::Address,
+}
+
+impl Marketplace {
+    /// ZKCP step 1+2 (*Deliver*/*Verify*): the buyer checks `π_p` and the
+    /// seller-supplied key hash, then locks payment contingent on the
+    /// preimage of `h = H(k)`.
+    pub fn zkcp_buyer_lock(
+        &mut self,
+        buyer: &DataOwner,
+        listing_id: ListingId,
+        package: &ValidationPackage,
+        seller_key_hash: Fr,
+    ) -> Result<ZkcpBuyerSession, ZkdetError> {
+        let listing = self
+            .chain
+            .auction(&self.auction_addr)?
+            .listing(listing_id)?
+            .clone();
+        let token = listing.token;
+        let on_chain_commitment = self.chain.nft(&self.nft_addr)?.token_meta(token)?.commitment;
+        if package.publics.first() != Some(&on_chain_commitment) {
+            return Err(ZkdetError::Inconsistent(
+                "validation proof is about a different commitment".into(),
+            ));
+        }
+        if !zkdet_plonk::Plonk::verify(&package.vk, &package.publics, &package.proof) {
+            return Err(ZkdetError::ProofInvalid("π_p"));
+        }
+        let price = listing.price_at(self.chain.height());
+        self.chain.auction_lock(
+            self.auction_addr,
+            buyer.address,
+            listing_id,
+            price,
+            seller_key_hash,
+        )?;
+        Ok(ZkcpBuyerSession {
+            listing: listing_id,
+            token,
+            key_hash: seller_key_hash,
+            price,
+            buyer: buyer.address,
+        })
+    }
+
+    /// The seller's key hash `h = H(k)` for a token (the *Deliver* message
+    /// alongside `π_p`).
+    pub fn zkcp_seller_key_hash(
+        &self,
+        owner: &DataOwner,
+        token: zkdet_chain::TokenId,
+    ) -> Result<Fr, ZkdetError> {
+        let secret = owner
+            .secret(token)
+            .ok_or(ZkdetError::MissingSecret(token))?;
+        Ok(Poseidon::hash(&[secret.key]))
+    }
+
+    /// ZKCP step 3 (*Open*): the seller discloses `k` to the contract —
+    /// publicly. The contract checks `H(k) = h` and pays.
+    pub fn zkcp_seller_open<R: Rng + ?Sized>(
+        &mut self,
+        owner: &DataOwner,
+        seller_listing: &SellerListing,
+        _rng: &mut R,
+    ) -> Result<(), ZkdetError> {
+        let secret = owner
+            .secret(seller_listing.token)
+            .ok_or(ZkdetError::MissingSecret(seller_listing.token))?;
+        self.chain.auction_settle_zkcp(
+            self.auction_addr,
+            self.nft_addr,
+            owner.address,
+            seller_listing.listing,
+            secret.key,
+        )?;
+        self.chain.mine_block();
+        Ok(())
+    }
+
+    /// ZKCP step 4 (*Finalize*, buyer side): read `k` from the chain and
+    /// decrypt.
+    pub fn zkcp_buyer_finalize(
+        &mut self,
+        session: &ZkcpBuyerSession,
+    ) -> Result<Dataset, ZkdetError> {
+        let k = self
+            .leaked_key(session.listing)
+            .ok_or_else(|| ZkdetError::Protocol("seller has not opened yet".into()))?;
+        if Poseidon::hash(&[k]) != session.key_hash {
+            return Err(ZkdetError::Inconsistent("disclosed key hash mismatch".into()));
+        }
+        let (ciphertext, _) = self.fetch_artefacts(session.token)?;
+        let plaintext = MimcCtr::new(k, ciphertext.nonce).decrypt(&ciphertext);
+        Ok(Dataset::from_entries(plaintext))
+    }
+
+    /// The key a listing's ZKCP settlement disclosed on-chain, if any.
+    pub fn leaked_key(&self, listing: ListingId) -> Option<Fr> {
+        self.chain
+            .auction(&self.auction_addr)
+            .ok()?
+            .leaked_keys()
+            .iter()
+            .find(|(l, _)| *l == listing)
+            .map(|(_, k)| *k)
+    }
+
+    /// **The attack** (§IV-F motivation): a third party with no
+    /// relationship to the exchange reads the disclosed key from public
+    /// chain data, fetches the public ciphertext, and decrypts the dataset.
+    ///
+    /// Succeeds exactly when the listing was settled through the ZKCP
+    /// path; the key-secure path leaves nothing to exploit.
+    pub fn adversary_decrypt_via_leak(
+        &mut self,
+        listing: ListingId,
+    ) -> Result<Dataset, ZkdetError> {
+        let k = self.leaked_key(listing).ok_or_else(|| {
+            ZkdetError::Protocol("no key was leaked for this listing".into())
+        })?;
+        let token = self
+            .chain
+            .auction(&self.auction_addr)?
+            .listing(listing)?
+            .token;
+        let (ciphertext, _) = self.fetch_artefacts(token)?;
+        let plaintext = MimcCtr::new(k, ciphertext.nonce).decrypt(&ciphertext);
+        Ok(Dataset::from_entries(plaintext))
+    }
+}

@@ -1,0 +1,161 @@
+//! Round-trip and adversarial-input tests for the storage codec and every
+//! proof-bundle variant.
+
+use rand::{rngs::StdRng, SeedableRng};
+use zkdet_core::{ProofBundle, TransformProof};
+use zkdet_field::{Field, Fr};
+use zkdet_kzg::Srs;
+use zkdet_plonk::{CircuitBuilder, Plonk, Proof};
+
+fn sample_proof(seed: u64) -> Proof {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let srs = Srs::universal_setup(32, &mut rng);
+    let mut b = CircuitBuilder::new();
+    let x = b.alloc(Fr::from(seed));
+    let y = b.mul(x, x);
+    b.assert_constant(y, Fr::from(seed * seed));
+    let circuit = b.build();
+    let (pk, _) = Plonk::preprocess(&srs, &circuit).unwrap();
+    Plonk::prove(&pk, &circuit, &mut rng).unwrap()
+}
+
+fn roundtrip(bundle: &ProofBundle) {
+    let bytes = bundle.to_bytes();
+    let decoded = ProofBundle::from_bytes(&bytes).expect("decodes");
+    assert_eq!(&decoded, bundle);
+    // Truncation at every boundary byte fails cleanly (never panics).
+    for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        assert!(ProofBundle::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+    }
+    // Trailing garbage rejected.
+    let mut extended = bytes.clone();
+    extended.push(0xab);
+    assert!(ProofBundle::from_bytes(&extended).is_err());
+}
+
+#[test]
+fn original_bundle_roundtrips() {
+    roundtrip(&ProofBundle {
+        pi_e: sample_proof(3),
+        len: 7,
+        pi_t: None,
+    });
+}
+
+#[test]
+fn duplication_bundle_roundtrips() {
+    roundtrip(&ProofBundle {
+        pi_e: sample_proof(4),
+        len: 5,
+        pi_t: Some(TransformProof::Duplication {
+            len: 5,
+            proof: sample_proof(5),
+        }),
+    });
+}
+
+#[test]
+fn aggregation_bundle_roundtrips() {
+    roundtrip(&ProofBundle {
+        pi_e: sample_proof(6),
+        len: 9,
+        pi_t: Some(TransformProof::Aggregation {
+            source_lens: vec![4, 3, 2],
+            proof: sample_proof(7),
+        }),
+    });
+}
+
+#[test]
+fn partition_bundle_roundtrips() {
+    roundtrip(&ProofBundle {
+        pi_e: sample_proof(8),
+        len: 2,
+        pi_t: Some(TransformProof::Partition {
+            part_lens: vec![2, 4],
+            part_index: 0,
+            part_commitments: vec![Fr::from(11u64), Fr::from(22u64)],
+            proof: sample_proof(9),
+        }),
+    });
+}
+
+#[test]
+fn processing_bundle_roundtrips() {
+    roundtrip(&ProofBundle {
+        pi_e: sample_proof(10),
+        len: 3,
+        pi_t: Some(TransformProof::Processing {
+            formula: "logreg-convergence-v1".into(),
+            publics: vec![Fr::from(1u64), Fr::from(2u64)],
+            proof: sample_proof(11),
+        }),
+    });
+}
+
+#[test]
+fn unknown_tag_rejected() {
+    let mut bytes = ProofBundle {
+        pi_e: sample_proof(12),
+        len: 1,
+        pi_t: None,
+    }
+    .to_bytes();
+    // The transform tag is the byte right after len(8) + proof(777).
+    let tag_pos = 8 + zkdet_plonk::Proof::SIZE_BYTES;
+    assert_eq!(bytes[tag_pos], 0);
+    bytes[tag_pos] = 99;
+    assert!(ProofBundle::from_bytes(&bytes).is_err());
+}
+
+#[test]
+fn non_canonical_scalar_rejected() {
+    // Corrupt one evaluation to the modulus (non-canonical encoding).
+    let bundle = ProofBundle {
+        pi_e: sample_proof(13),
+        len: 1,
+        pi_t: None,
+    };
+    let mut bytes = bundle.to_bytes();
+    use zkdet_field::PrimeField;
+    // The six scalars of the π_e proof sit after len(8) + 9 points (65 B each).
+    let scalar_pos = 8 + 9 * 65;
+    let mut modulus_bytes = [0u8; 32];
+    for (i, l) in Fr::MODULUS.iter().enumerate() {
+        modulus_bytes[8 * i..8 * i + 8].copy_from_slice(&l.to_le_bytes());
+    }
+    bytes[scalar_pos..scalar_pos + 32].copy_from_slice(&modulus_bytes);
+    assert!(ProofBundle::from_bytes(&bytes).is_err());
+}
+
+#[test]
+fn off_curve_point_rejected() {
+    let bundle = ProofBundle {
+        pi_e: sample_proof(14),
+        len: 1,
+        pi_t: None,
+    };
+    let mut bytes = bundle.to_bytes();
+    // First point starts at offset 8 (after len); flag byte then x||y.
+    if bytes[8] == 1 {
+        // Nudge x so the point leaves the curve (keep it canonical: byte 0
+        // of a 254-bit LE value can wrap freely).
+        bytes[9] ^= 1;
+        assert!(ProofBundle::from_bytes(&bytes).is_err());
+    } else {
+        // Identity flag — flip it to claim a point with zeroed coords.
+        bytes[8] = 1;
+        assert!(ProofBundle::from_bytes(&bytes).is_err());
+    }
+}
+
+#[test]
+fn fuzzy_garbage_never_panics() {
+    let mut rng = StdRng::seed_from_u64(77);
+    use rand::Rng;
+    for len in [0usize, 1, 8, 100, 1000] {
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        // Must return Err, not panic.
+        let _ = ProofBundle::from_bytes(&garbage);
+    }
+}

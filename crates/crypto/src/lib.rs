@@ -1,0 +1,26 @@
+//! Circuit-friendly cryptographic primitives for ZKDET.
+//!
+//! The paper (§IV-C) replaces AES/SHA-256 with arithmetisation-friendly
+//! primitives to keep constraint counts tractable:
+//!
+//! * [`mimc`] — the MiMC-p/p block cipher (`r = 91` rounds, degree-7
+//!   permutation) and its CTR mode used to encrypt datasets;
+//! * [`poseidon`] — the Poseidon permutation (`x⁵`, `R_F = 8`, `R_P = 60`)
+//!   used for commitments and Merkle hashing;
+//! * [`commitment`] — the hiding/binding commitment scheme of §II-B built
+//!   on Poseidon;
+//! * [`mod@sha256`] — a plain SHA-256 (content addressing in storage and the
+//!   Fiat–Shamir transcript, both *outside* circuits);
+//! * [`merkle`] — Poseidon Merkle trees.
+
+pub mod commitment;
+pub mod merkle;
+pub mod mimc;
+pub mod poseidon;
+pub mod sha256;
+
+pub use commitment::{Commitment, CommitmentScheme, Opening};
+pub use merkle::{MerklePath, MerkleTree};
+pub use mimc::{Mimc, MimcCtr};
+pub use poseidon::Poseidon;
+pub use sha256::{sha256, Sha256};

@@ -1,0 +1,277 @@
+//! The optimal ate pairing on BN254.
+//!
+//! `e(P, Q) = f_{6u+2,Q}(P) · l_{[6u+2]Q, πQ}(P) · l_{[6u+2]Q + πQ, -π²Q}(P)`
+//! raised to `(p¹² - 1)/r`.
+//!
+//! The implementation favours auditability over raw speed: the Miller loop
+//! keeps `T` in affine `F_{p²}` coordinates (one small-field inversion per
+//! step) and evaluates untwisted lines as sparse `F_{p¹²}` elements; the
+//! final-exponentiation hard part is a plain exponentiation by
+//! `(p⁴ - p² + 1)/r` computed once with exact big-integer arithmetic.
+//! Correctness is pinned down by bilinearity/non-degeneracy tests rather
+//! than by trusting transcribed addition chains.
+
+use std::sync::OnceLock;
+
+use zkdet_field::bigint::BigInt;
+use zkdet_field::{Field, Fq, Fq12, Fq2, Fq6, BN_U};
+
+use crate::group::{G1Affine, G2Affine};
+
+/// `|6u + 2|` — the optimal ate loop count for BN254 (`u > 0`).
+fn ate_loop_count() -> u128 {
+    6 * (BN_U as u128) + 2
+}
+
+/// Non-adjacent form, little-endian digits in `{-1, 0, 1}`.
+fn naf(mut n: u128) -> Vec<i8> {
+    let mut digits = Vec::with_capacity(130);
+    while n > 0 {
+        if n & 1 == 1 {
+            let d: i8 = if n & 3 == 1 { 1 } else { -1 };
+            digits.push(d);
+            if d == 1 {
+                n -= 1;
+            } else {
+                n += 1;
+            }
+        } else {
+            digits.push(0);
+        }
+        n >>= 1;
+    }
+    digits
+}
+
+/// Frobenius twist constants: `γ² = ξ^((p-1)/3)` and `γ³ = ξ^((p-1)/2)`.
+fn twist_frobenius_coeffs() -> &'static (Fq2, Fq2) {
+    static COEFFS: OnceLock<(Fq2, Fq2)> = OnceLock::new();
+    COEFFS.get_or_init(|| {
+        let xi = Fq2::new(Fq::from(9u64), Fq::ONE);
+        let p = BigInt::from_limbs(&Fq::MODULUS);
+        let pm1 = p.sub(&BigInt::one());
+        let (e3, r3) = pm1.div_rem(&BigInt::from_u64(3));
+        let (e2, r2) = pm1.div_rem(&BigInt::from_u64(2));
+        assert!(r3.is_zero() && r2.is_zero());
+        (xi.pow(e3.limbs()), xi.pow(e2.limbs()))
+    })
+}
+
+/// The final-exponentiation hard part `(p⁴ - p² + 1)/r`.
+fn hard_part_exponent() -> &'static BigInt {
+    static EXP: OnceLock<BigInt> = OnceLock::new();
+    EXP.get_or_init(|| {
+        let p = BigInt::from_limbs(&Fq::MODULUS);
+        let r = BigInt::from_limbs(&zkdet_field::Fr::MODULUS);
+        let p2 = p.mul(&p);
+        let p4 = p2.mul(&p2);
+        let num = p4.sub(&p2).add(&BigInt::one());
+        let (q, rem) = num.div_rem(&r);
+        assert!(rem.is_zero(), "r | p⁴ - p² + 1 for BN curves");
+        q
+    })
+}
+
+/// The line through the untwisted images of `(x1,y1)` (slope `λ` on the
+/// twist) evaluated at `P = (xp, yp)`:
+/// `l = yp - λ·xp·w + (λ·x1 - y1)·w³`.
+#[inline]
+fn line_eval(lambda: Fq2, x1: Fq2, y1: Fq2, p: &G1Affine) -> Fq12 {
+    Fq12::new(
+        Fq6::new(Fq2::from_base(p.y), Fq2::ZERO, Fq2::ZERO),
+        Fq6::new(-lambda.scale(p.x), lambda * x1 - y1, Fq2::ZERO),
+    )
+}
+
+/// Affine G2 accumulator point used inside the Miller loop.
+#[derive(Clone, Copy)]
+struct TwistPoint {
+    x: Fq2,
+    y: Fq2,
+}
+
+impl TwistPoint {
+    /// Tangent line at `self`, then doubles `self`.
+    fn double_step(&mut self, p: &G1Affine) -> Fq12 {
+        let lambda = (self.x.square().double() + self.x.square())
+            * self.y.double().inverse().expect("order-r point has y ≠ 0");
+        let l = line_eval(lambda, self.x, self.y, p);
+        let x3 = lambda.square() - self.x.double();
+        let y3 = lambda * (self.x - x3) - self.y;
+        self.x = x3;
+        self.y = y3;
+        l
+    }
+
+    /// Chord line through `self` and `q`, then adds `q` to `self`.
+    fn add_step(&mut self, q: &TwistPoint, p: &G1Affine) -> Fq12 {
+        let lambda = (q.y - self.y)
+            * (q.x - self.x)
+                .inverse()
+                .expect("loop length ≪ r keeps T ≠ ±Q");
+        let l = line_eval(lambda, self.x, self.y, p);
+        let x3 = lambda.square() - self.x - q.x;
+        let y3 = lambda * (self.x - x3) - self.y;
+        self.x = x3;
+        self.y = y3;
+        l
+    }
+}
+
+/// The Miller-loop value `f_{6u+2,Q}(P)` times the two Frobenius line
+/// corrections (not yet raised to the final exponent).
+///
+/// Returns `1` when either point is the identity.
+pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fq12 {
+    if p.is_identity() || q.is_identity() {
+        return Fq12::ONE;
+    }
+    let digits = naf(ate_loop_count());
+    let q_pos = TwistPoint { x: q.x, y: q.y };
+    let q_neg = TwistPoint { x: q.x, y: -q.y };
+    let mut t = q_pos;
+    let mut f = Fq12::ONE;
+    for i in (0..digits.len() - 1).rev() {
+        f = f.square() * t.double_step(p);
+        match digits[i] {
+            1 => f *= t.add_step(&q_pos, p),
+            -1 => f *= t.add_step(&q_neg, p),
+            _ => {}
+        }
+    }
+
+    // Frobenius corrections: Q1 = π(Q), Q2 = π²(Q).
+    let (g2, g3) = *twist_frobenius_coeffs();
+    let q1 = TwistPoint {
+        x: q.x.conjugate() * g2,
+        y: q.y.conjugate() * g3,
+    };
+    let q2_neg = TwistPoint {
+        x: q.x * g2.conjugate() * g2,
+        y: -(q.y * g3.conjugate() * g3),
+    };
+    f *= t.add_step(&q1, p);
+    f *= t.add_step(&q2_neg, p);
+    f
+}
+
+/// Product of Miller loops for several pairs (shared final exponentiation).
+pub fn multi_miller_loop(pairs: &[(G1Affine, G2Affine)]) -> Fq12 {
+    pairs
+        .iter()
+        .fold(Fq12::ONE, |acc, (p, q)| acc * miller_loop(p, q))
+}
+
+/// Raises a Miller-loop output to `(p¹² - 1)/r`, landing in `G_T`.
+pub fn final_exponentiation(f: &Fq12) -> Fq12 {
+    // Easy part: f^((p⁶-1)(p²+1)).
+    let f_inv = f.inverse().expect("Miller loop output is non-zero");
+    let easy = f.conjugate() * f_inv; // f^(p⁶-1)
+    let easy = easy.frobenius_map_pow(2) * easy; // ^(p²+1)
+    // Hard part: ^((p⁴-p²+1)/r).
+    easy.pow_bigint(hard_part_exponent())
+}
+
+/// The optimal ate pairing `e(P, Q)`.
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Fq12 {
+    final_exponentiation(&miller_loop(p, q))
+}
+
+/// `Π e(Pᵢ, Qᵢ)` with a single shared final exponentiation — the form used
+/// for KZG / PLONK verification equations of the shape `Π e(·,·) = 1`.
+pub fn multi_pairing(pairs: &[(G1Affine, G2Affine)]) -> Fq12 {
+    final_exponentiation(&multi_miller_loop(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{G1Projective, G2Projective};
+    use rand::{rngs::StdRng, SeedableRng};
+    use zkdet_field::{Fr, PrimeField};
+
+    #[test]
+    fn naf_reconstructs_value() {
+        for n in [1u128, 2, 3, 1023, ate_loop_count()] {
+            let digits = naf(n);
+            let mut acc: i128 = 0;
+            for &d in digits.iter().rev() {
+                acc = 2 * acc + d as i128;
+            }
+            assert_eq!(acc as u128, n);
+            // non-adjacency
+            for w in digits.windows(2) {
+                assert!(w[0] == 0 || w[1] == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pairing_non_degenerate() {
+        let e = pairing(&G1Affine::generator(), &G2Affine::generator());
+        assert_ne!(e, Fq12::ONE);
+        assert_ne!(e, Fq12::ZERO);
+        // e lands in the order-r subgroup.
+        assert_eq!(e.pow(&Fr::MODULUS), Fq12::ONE);
+    }
+
+    #[test]
+    fn pairing_bilinear_left() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let a = Fr::random(&mut rng);
+        let p = (G1Projective::generator() * a).to_affine();
+        let q = G2Affine::generator();
+        let lhs = pairing(&p, &q);
+        let rhs = pairing(&G1Affine::generator(), &q).pow(&a.to_canonical());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pairing_bilinear_right() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let b = Fr::random(&mut rng);
+        let q = (G2Projective::generator() * b).to_affine();
+        let lhs = pairing(&G1Affine::generator(), &q);
+        let rhs =
+            pairing(&G1Affine::generator(), &G2Affine::generator()).pow(&b.to_canonical());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pairing_swaps_scalars() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let a = Fr::random(&mut rng);
+        let pa = (G1Projective::generator() * a).to_affine();
+        let qa = (G2Projective::generator() * a).to_affine();
+        assert_eq!(
+            pairing(&pa, &G2Affine::generator()),
+            pairing(&G1Affine::generator(), &qa)
+        );
+    }
+
+    #[test]
+    fn pairing_identity_is_one() {
+        assert_eq!(
+            pairing(&G1Affine::identity(), &G2Affine::generator()),
+            Fq12::ONE
+        );
+        assert_eq!(
+            pairing(&G1Affine::generator(), &G2Affine::identity()),
+            Fq12::ONE
+        );
+    }
+
+    #[test]
+    fn multi_pairing_detects_kzg_style_identity() {
+        // e(aG1, G2) · e(-G1, aG2) = 1
+        let mut rng = StdRng::seed_from_u64(44);
+        let a = Fr::random(&mut rng);
+        let p1 = (G1Projective::generator() * a).to_affine();
+        let q2 = (G2Projective::generator() * a).to_affine();
+        let res = multi_pairing(&[
+            (p1, G2Affine::generator()),
+            ((-G1Projective::generator()).to_affine(), q2),
+        ]);
+        assert_eq!(res, Fq12::ONE);
+    }
+}

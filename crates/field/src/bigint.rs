@@ -1,0 +1,340 @@
+//! Minimal little-endian multi-precision integer helpers.
+//!
+//! Fixed-width `[u64; 4]` helpers back the Montgomery fields; the
+//! variable-width [`BigInt`] is used for one-off exponent computations
+//! (Frobenius exponents, the final-exponentiation hard part) where clarity
+//! beats speed.
+
+/// Fixed-width 256-bit little-endian integer used as a field-element backing
+/// store and exponent type.
+pub type Limbs = [u64; 4];
+
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub(b as u128 + borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+#[inline(always)]
+pub const fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + (b as u128) * (c as u128) + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// `a + b`, asserting no overflow out of 256 bits (callers guarantee inputs
+/// are reduced below a 254-bit modulus).
+pub const fn add_limbs(a: &Limbs, b: &Limbs) -> (Limbs, u64) {
+    let (r0, c) = adc(a[0], b[0], 0);
+    let (r1, c) = adc(a[1], b[1], c);
+    let (r2, c) = adc(a[2], b[2], c);
+    let (r3, c) = adc(a[3], b[3], c);
+    ([r0, r1, r2, r3], c)
+}
+
+pub const fn sub_limbs(a: &Limbs, b: &Limbs) -> (Limbs, u64) {
+    let (r0, bor) = sbb(a[0], b[0], 0);
+    let (r1, bor) = sbb(a[1], b[1], bor);
+    let (r2, bor) = sbb(a[2], b[2], bor);
+    let (r3, bor) = sbb(a[3], b[3], bor);
+    ([r0, r1, r2, r3], bor)
+}
+
+/// `a >= b` as unsigned 256-bit integers.
+pub const fn geq(a: &Limbs, b: &Limbs) -> bool {
+    let mut i = 3;
+    loop {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+        if i == 0 {
+            return true;
+        }
+        i -= 1;
+    }
+}
+
+pub const fn is_zero(a: &Limbs) -> bool {
+    a[0] == 0 && a[1] == 0 && a[2] == 0 && a[3] == 0
+}
+
+/// Logical right shift by `n < 256` bits.
+pub fn shr(a: &Limbs, n: u32) -> Limbs {
+    let mut out = [0u64; 4];
+    let limb_shift = (n / 64) as usize;
+    let bit_shift = n % 64;
+    for i in 0..4 {
+        let src = i + limb_shift;
+        if src < 4 {
+            out[i] = a[src] >> bit_shift;
+            if bit_shift > 0 && src + 1 < 4 {
+                out[i] |= a[src + 1] << (64 - bit_shift);
+            }
+        }
+    }
+    out
+}
+
+/// `2^k mod modulus`, computed by `k` modular doublings. `const`-evaluable so
+/// Montgomery constants derive from the modulus at compile time.
+pub const fn pow2_mod(modulus: &Limbs, k: u32) -> Limbs {
+    let mut r = [1u64, 0, 0, 0];
+    let mut i = 0;
+    while i < k {
+        let (doubled, carry) = add_limbs(&r, &r);
+        // modulus < 2^254 so carry can only be 0, but keep the check total.
+        if carry == 1 || geq(&doubled, modulus) {
+            let (reduced, _) = sub_limbs(&doubled, modulus);
+            r = reduced;
+        } else {
+            r = doubled;
+        }
+        i += 1;
+    }
+    r
+}
+
+/// `-modulus⁻¹ mod 2⁶⁴` via Newton iteration (modulus must be odd).
+pub const fn mont_inv(modulus: &Limbs) -> u64 {
+    let m = modulus[0];
+    // x ← x(2 - m·x) doubles the number of correct low bits each step;
+    // starting from x = 1 (correct mod 2), six steps reach 64 bits.
+    let mut x = 1u64;
+    let mut j = 0;
+    while j < 6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(x)));
+        j += 1;
+    }
+    x.wrapping_neg()
+}
+
+/// Arbitrary-precision unsigned integer (little-endian `u64` limbs).
+///
+/// Only the operations needed for one-off exponent derivations are provided;
+/// this type is never on a hot path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BigInt {
+    limbs: Vec<u64>,
+}
+
+impl BigInt {
+    pub fn from_limbs(limbs: &[u64]) -> Self {
+        let mut b = BigInt {
+            limbs: limbs.to_vec(),
+        };
+        b.normalize();
+        b
+    }
+
+    pub fn from_u64(x: u64) -> Self {
+        BigInt { limbs: vec![x] }
+    }
+
+    pub fn zero() -> Self {
+        BigInt { limbs: vec![] }
+    }
+
+    pub fn one() -> Self {
+        BigInt { limbs: vec![1] }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * self.limbs.len() - top.leading_zeros() as usize,
+        }
+    }
+
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        limb < self.limbs.len() && (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Little-endian bits, most significant last.
+    pub fn bits(&self) -> Vec<bool> {
+        (0..self.bit_len()).map(|i| self.bit(i)).collect()
+    }
+
+    /// Expose the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    pub fn add(&self, rhs: &BigInt) -> BigInt {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (r, c) = adc(a, b, carry);
+            out.push(r);
+            carry = c;
+        }
+        out.push(carry);
+        let mut b = BigInt { limbs: out };
+        b.normalize();
+        b
+    }
+
+    /// `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`.
+    pub fn sub(&self, rhs: &BigInt) -> BigInt {
+        assert!(self.cmp_big(rhs) != core::cmp::Ordering::Less, "underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (r, bo) = sbb(self.limbs[i], b, borrow);
+            out.push(r);
+            borrow = bo;
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut b = BigInt { limbs: out };
+        b.normalize();
+        b
+    }
+
+    pub fn mul(&self, rhs: &BigInt) -> BigInt {
+        if self.is_zero() || rhs.is_zero() {
+            return BigInt::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let (r, c) = mac(out[i + j], a, b, carry);
+                out[i + j] = r;
+                carry = c;
+            }
+            out[i + rhs.limbs.len()] = carry;
+        }
+        let mut b = BigInt { limbs: out };
+        b.normalize();
+        b
+    }
+
+    pub fn shl1(&self) -> BigInt {
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            out.push((l << 1) | carry);
+            carry = l >> 63;
+        }
+        out.push(carry);
+        let mut b = BigInt { limbs: out };
+        b.normalize();
+        b
+    }
+
+    pub fn cmp_big(&self, rhs: &BigInt) -> core::cmp::Ordering {
+        if self.limbs.len() != rhs.limbs.len() {
+            return self.limbs.len().cmp(&rhs.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&rhs.limbs[i]) {
+                core::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        core::cmp::Ordering::Equal
+    }
+
+    /// Binary long division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigInt) -> (BigInt, BigInt) {
+        assert!(!divisor.is_zero(), "division by zero");
+        let mut q = BigInt::zero();
+        let mut r = BigInt::zero();
+        for i in (0..self.bit_len()).rev() {
+            r = r.shl1();
+            if self.bit(i) {
+                r = r.add(&BigInt::one());
+            }
+            q = q.shl1();
+            if r.cmp_big(divisor) != core::cmp::Ordering::Less {
+                r = r.sub(divisor);
+                q = q.add(&BigInt::one());
+            }
+        }
+        (q, r)
+    }
+
+    /// `self^k` (small `k`).
+    pub fn pow(&self, k: u32) -> BigInt {
+        let mut acc = BigInt::one();
+        for _ in 0..k {
+            acc = acc.mul(self);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mont_inv_is_negative_inverse() {
+        // p0 of BN254 Fq
+        let m: Limbs = [0x3c20_8c16_d87c_fd47, 0, 0, 0];
+        let inv = mont_inv(&m);
+        assert_eq!(m[0].wrapping_mul(inv), u64::MAX); // m * (-m^{-1}) = -1 mod 2^64
+    }
+
+    #[test]
+    fn pow2_mod_small() {
+        let m: Limbs = [97, 0, 0, 0];
+        // 2^10 mod 97 = 1024 mod 97 = 1024 - 10*97 = 54
+        assert_eq!(pow2_mod(&m, 10), [54, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bigint_div_rem() {
+        let a = BigInt::from_u64(1_000_003);
+        let b = BigInt::from_u64(997);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, BigInt::from_u64(1_000_003 / 997));
+        assert_eq!(r, BigInt::from_u64(1_000_003 % 997));
+    }
+
+    #[test]
+    fn bigint_mul_add_roundtrip() {
+        let a = BigInt::from_limbs(&[u64::MAX, u64::MAX, 12345]);
+        let b = BigInt::from_limbs(&[u64::MAX, 7]);
+        let (q, r) = a.mul(&b).add(&BigInt::from_u64(42)).div_rem(&b);
+        assert_eq!(q, a);
+        assert_eq!(r, BigInt::from_u64(42));
+    }
+
+    #[test]
+    fn shr_works() {
+        let a: Limbs = [0, 0, 0, 1u64 << 63];
+        assert_eq!(shr(&a, 255), [1, 0, 0, 0]);
+        assert_eq!(shr(&a, 64), [0, 0, 1u64 << 63, 0]);
+    }
+}

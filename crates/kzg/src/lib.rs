@@ -1,0 +1,310 @@
+//! KZG polynomial commitments over BN254 with a universal SRS.
+//!
+//! ZKDET's PLONK instantiation needs a *universal, updatable* structured
+//! reference string (§VI-B1). The paper uses the Perpetual Powers-of-Tau
+//! ceremony transcript; this reproduction generates the same object — the
+//! monomial basis `(τ⁰G₁, τ¹G₁, …, τⁿG₁, G₂, τG₂)` — from locally sampled
+//! randomness and then drops `τ`. The ceremony only distributes trust;
+//! the resulting SRS and every cost measured in Fig. 5 are identical in
+//! structure.
+//!
+//! # Example
+//!
+//! ```rust
+//! use zkdet_kzg::Srs;
+//! use zkdet_poly::DensePolynomial;
+//! use zkdet_field::Fr;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let srs = Srs::universal_setup(32, &mut rng);
+//! let p = DensePolynomial::from_coefficients(vec![Fr::from(3u64), Fr::from(1u64)]);
+//! let commitment = srs.commit(&p);
+//! let z = Fr::from(7u64);
+//! let (value, proof) = srs.open(&p, &z);
+//! assert_eq!(value, Fr::from(10u64)); // 3 + 7
+//! assert!(srs.verify(&commitment, &z, &value, &proof));
+//! ```
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use zkdet_curve::{
+    fixed_base_batch_mul, msm, multi_pairing, G1Affine, G1Projective, G2Affine, G2Projective,
+};
+use zkdet_field::{Field, Fq12, Fr};
+use zkdet_poly::DensePolynomial;
+
+/// A KZG commitment — a single G1 point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KzgCommitment(pub G1Affine);
+
+/// A KZG opening proof — the committed witness quotient `(p(X)-p(z))/(X-z)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KzgProof(pub G1Affine);
+
+/// The universal structured reference string (monomial basis powers of τ).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Srs {
+    /// `τⁱ·G₁` for `i = 0..=max_degree`.
+    pub powers_g1: Vec<G1Affine>,
+    /// `G₂`.
+    pub g2: G2Affine,
+    /// `τ·G₂`.
+    pub tau_g2: G2Affine,
+}
+
+impl Srs {
+    /// Runs the universal setup for polynomials of degree up to `max_degree`.
+    ///
+    /// The toxic waste `τ` is sampled from `rng` and dropped before this
+    /// function returns (ceremony substitute — see crate docs).
+    pub fn universal_setup<R: Rng + ?Sized>(max_degree: usize, rng: &mut R) -> Srs {
+        let tau = Fr::random(rng);
+        let mut powers = Vec::with_capacity(max_degree + 1);
+        let mut acc = Fr::ONE;
+        for _ in 0..=max_degree {
+            powers.push(acc);
+            acc *= tau;
+        }
+        let g1 = G1Projective::generator();
+        let powers_g1 =
+            G1Projective::batch_to_affine(&fixed_base_batch_mul(&g1, &powers));
+        Srs {
+            powers_g1,
+            g2: G2Affine::generator(),
+            tau_g2: (G2Projective::generator() * tau).to_affine(),
+        }
+    }
+
+    /// The maximum committable polynomial degree.
+    pub fn max_degree(&self) -> usize {
+        self.powers_g1.len() - 1
+    }
+
+    /// Commits to a polynomial: `C = p(τ)·G₁` via MSM over the SRS powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.degree() > self.max_degree()`.
+    pub fn commit(&self, p: &DensePolynomial) -> KzgCommitment {
+        assert!(
+            p.coefficients().len() <= self.powers_g1.len(),
+            "polynomial degree {} exceeds SRS degree {}",
+            p.degree(),
+            self.max_degree()
+        );
+        if p.is_zero() {
+            return KzgCommitment(G1Affine::identity());
+        }
+        let bases = &self.powers_g1[..p.coefficients().len()];
+        KzgCommitment(msm(bases, p.coefficients()).to_affine())
+    }
+
+    /// Opens `p` at `z`: returns `(p(z), W)` with `W = [(p(X)-p(z))/(X-z)]₁`.
+    pub fn open(&self, p: &DensePolynomial, z: &Fr) -> (Fr, KzgProof) {
+        let (quotient, value) = p.divide_by_linear(*z);
+        (value, KzgProof(self.commit(&quotient).0))
+    }
+
+    /// Verifies a single opening: `e(C - y·G₁, G₂) = e(W, τ·G₂ - z·G₂)`.
+    pub fn verify(&self, c: &KzgCommitment, z: &Fr, y: &Fr, proof: &KzgProof) -> bool {
+        // Rearranged to one multi-pairing: e(C - yG₁ + zW, G₂)·e(-W, τG₂) = 1
+        let lhs =
+            (c.0.to_projective() - G1Projective::generator() * *y + proof.0 * *z).to_affine();
+        multi_pairing(&[(lhs, self.g2), ((-proof.0.to_projective()).to_affine(), self.tau_g2)])
+            == Fq12::ONE
+    }
+
+    /// Batch-verifies openings of several commitments at a shared point,
+    /// folding with the random factor `r` (one multi-pairing total).
+    pub fn batch_verify_same_point(
+        &self,
+        commitments: &[KzgCommitment],
+        z: &Fr,
+        values: &[Fr],
+        proofs: &[KzgProof],
+        r: Fr,
+    ) -> bool {
+        assert_eq!(commitments.len(), values.len());
+        assert_eq!(commitments.len(), proofs.len());
+        let mut acc_c = G1Projective::identity();
+        let mut acc_y = Fr::ZERO;
+        let mut acc_w = G1Projective::identity();
+        let mut pow = Fr::ONE;
+        for ((c, y), w) in commitments.iter().zip(values).zip(proofs) {
+            acc_c += c.0.to_projective() * pow;
+            acc_y += *y * pow;
+            acc_w += w.0.to_projective() * pow;
+            pow *= r;
+        }
+        let lhs = (acc_c - G1Projective::generator() * acc_y + acc_w * *z).to_affine();
+        multi_pairing(&[
+            (lhs, self.g2),
+            ((-acc_w).to_affine(), self.tau_g2),
+        ]) == Fq12::ONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn setup(n: usize) -> (Srs, StdRng) {
+        let mut rng = StdRng::seed_from_u64(110);
+        let srs = Srs::universal_setup(n, &mut rng);
+        (srs, rng)
+    }
+
+    #[test]
+    fn commit_open_verify_roundtrip() {
+        let (srs, mut rng) = setup(32);
+        let p = DensePolynomial::random(20, &mut rng);
+        let c = srs.commit(&p);
+        let z = Fr::random(&mut rng);
+        let (y, w) = srs.open(&p, &z);
+        assert_eq!(y, p.evaluate(&z));
+        assert!(srs.verify(&c, &z, &y, &w));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_value() {
+        let (srs, mut rng) = setup(16);
+        let p = DensePolynomial::random(10, &mut rng);
+        let c = srs.commit(&p);
+        let z = Fr::random(&mut rng);
+        let (y, w) = srs.open(&p, &z);
+        assert!(!srs.verify(&c, &z, &(y + Fr::ONE), &w));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_commitment() {
+        let (srs, mut rng) = setup(16);
+        let p = DensePolynomial::random(10, &mut rng);
+        let q = DensePolynomial::random(10, &mut rng);
+        let cq = srs.commit(&q);
+        let z = Fr::random(&mut rng);
+        let (y, w) = srs.open(&p, &z);
+        assert!(!srs.verify(&cq, &z, &y, &w));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_point() {
+        let (srs, mut rng) = setup(16);
+        let p = DensePolynomial::random(10, &mut rng);
+        let c = srs.commit(&p);
+        let z = Fr::random(&mut rng);
+        let (y, w) = srs.open(&p, &z);
+        assert!(!srs.verify(&c, &(z + Fr::ONE), &y, &w));
+    }
+
+    #[test]
+    fn commitment_is_homomorphic() {
+        let (srs, mut rng) = setup(16);
+        let p = DensePolynomial::random(8, &mut rng);
+        let q = DensePolynomial::random(8, &mut rng);
+        let sum = &p + &q;
+        let cp = srs.commit(&p).0.to_projective();
+        let cq = srs.commit(&q).0.to_projective();
+        assert_eq!(srs.commit(&sum).0, (cp + cq).to_affine());
+    }
+
+    #[test]
+    fn zero_and_constant_polynomials() {
+        let (srs, mut rng) = setup(8);
+        let zero = DensePolynomial::zero();
+        let c = srs.commit(&zero);
+        assert!(c.0.is_identity());
+        let z = Fr::random(&mut rng);
+        let (y, w) = srs.open(&zero, &z);
+        assert_eq!(y, Fr::ZERO);
+        assert!(srs.verify(&c, &z, &y, &w));
+
+        let konst = DensePolynomial::constant(Fr::from(9u64));
+        let c = srs.commit(&konst);
+        let (y, w) = srs.open(&konst, &z);
+        assert_eq!(y, Fr::from(9u64));
+        assert!(srs.verify(&c, &z, &y, &w));
+    }
+
+    #[test]
+    fn batch_verify_same_point_works_and_rejects() {
+        let (srs, mut rng) = setup(16);
+        let polys: Vec<DensePolynomial> =
+            (0..4).map(|_| DensePolynomial::random(9, &mut rng)).collect();
+        let z = Fr::random(&mut rng);
+        let comms: Vec<_> = polys.iter().map(|p| srs.commit(p)).collect();
+        let opens: Vec<_> = polys.iter().map(|p| srs.open(p, &z)).collect();
+        let values: Vec<Fr> = opens.iter().map(|(y, _)| *y).collect();
+        let proofs: Vec<KzgProof> = opens.iter().map(|(_, w)| *w).collect();
+        let r = Fr::random(&mut rng);
+        assert!(srs.batch_verify_same_point(&comms, &z, &values, &proofs, r));
+        let mut bad = values.clone();
+        bad[2] += Fr::ONE;
+        assert!(!srs.batch_verify_same_point(&comms, &z, &bad, &proofs, r));
+    }
+
+    #[test]
+    fn max_degree_enforced() {
+        let (srs, mut rng) = setup(4);
+        let p = DensePolynomial::random(4, &mut rng);
+        let _ = srs.commit(&p); // exactly max degree is fine
+        let too_big = DensePolynomial::random(5, &mut rng);
+        assert!(std::panic::catch_unwind(|| srs.commit(&too_big)).is_err());
+    }
+}
+
+impl Srs {
+    /// A trimmed copy supporting polynomials up to `max_degree` — lets one
+    /// large universal setup serve many smaller relations without
+    /// regeneration (the universality property of §VI-B1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_degree` exceeds this SRS's degree.
+    pub fn trim(&self, max_degree: usize) -> Srs {
+        assert!(
+            max_degree <= self.max_degree(),
+            "cannot trim degree {} SRS up to {}",
+            self.max_degree(),
+            max_degree
+        );
+        Srs {
+            powers_g1: self.powers_g1[..=max_degree].to_vec(),
+            g2: self.g2,
+            tau_g2: self.tau_g2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod trim_tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use zkdet_field::Field;
+
+    #[test]
+    fn trimmed_srs_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(120);
+        let big = Srs::universal_setup(64, &mut rng);
+        let small = big.trim(16);
+        assert_eq!(small.max_degree(), 16);
+        // Openings under the trimmed SRS verify under the big one and
+        // vice versa (same τ).
+        let p = DensePolynomial::random(10, &mut rng);
+        let c_small = small.commit(&p);
+        let c_big = big.commit(&p);
+        assert_eq!(c_small, c_big);
+        let z = Fr::random(&mut rng);
+        let (y, w) = small.open(&p, &z);
+        assert!(big.verify(&c_big, &z, &y, &w));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot trim")]
+    fn trim_beyond_degree_panics() {
+        let mut rng = StdRng::seed_from_u64(121);
+        let srs = Srs::universal_setup(8, &mut rng);
+        let _ = srs.trim(9);
+    }
+}

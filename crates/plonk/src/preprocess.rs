@@ -1,0 +1,222 @@
+//! Circuit preprocessing: `KeyGen(1^λ, R)` — derives the proving and
+//! verifying keys from the universal SRS and a compiled circuit.
+//!
+//! This is the per-relation cost measured in Fig. 5 (the SRS itself is
+//! universal and reused across circuits; see `zkdet-kzg`).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use zkdet_curve::G2Affine;
+use zkdet_field::{Field, Fr};
+use zkdet_kzg::{KzgCommitment, Srs};
+use zkdet_poly::{DensePolynomial, EvaluationDomain};
+
+use crate::builder::CompiledCircuit;
+use crate::{coset_k1, coset_k2};
+
+/// Errors produced by preprocessing and proving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlonkError {
+    /// The circuit needs a larger SRS than provided.
+    SrsTooSmall {
+        /// Degree required (domain size + blinding slack).
+        required: usize,
+        /// Degree available in the SRS.
+        available: usize,
+    },
+    /// The circuit exceeds the field's 2-adic FFT bound.
+    CircuitTooLarge,
+    /// The embedded witness does not satisfy the circuit.
+    UnsatisfiedWitness,
+}
+
+impl core::fmt::Display for PlonkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlonkError::SrsTooSmall {
+                required,
+                available,
+            } => write!(
+                f,
+                "srs supports degree {available} but circuit requires {required}"
+            ),
+            PlonkError::CircuitTooLarge => write!(f, "circuit exceeds the 2-adic FFT bound"),
+            PlonkError::UnsatisfiedWitness => write!(f, "witness does not satisfy the circuit"),
+        }
+    }
+}
+
+impl std::error::Error for PlonkError {}
+
+/// The verifying key: commitments to the circuit polynomials plus domain
+/// metadata. Constant-size (independent of the circuit, except `ℓ`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VerifyingKey {
+    /// Domain size `n`.
+    pub n: usize,
+    /// Number of public inputs `ℓ`.
+    pub num_public_inputs: usize,
+    /// Selector commitments `[q_L], [q_R], [q_O], [q_M], [q_C]`.
+    pub q_l: KzgCommitment,
+    pub q_r: KzgCommitment,
+    pub q_o: KzgCommitment,
+    pub q_m: KzgCommitment,
+    pub q_c: KzgCommitment,
+    /// Permutation commitments `[σ₁], [σ₂], [σ₃]`.
+    pub sigma1: KzgCommitment,
+    pub sigma2: KzgCommitment,
+    pub sigma3: KzgCommitment,
+    /// `G₂` and `τ·G₂` from the SRS (the verifier's only SRS dependence).
+    pub g2: G2Affine,
+    pub tau_g2: G2Affine,
+}
+
+impl VerifyingKey {
+    /// The evaluation domain implied by `n`.
+    pub fn domain(&self) -> EvaluationDomain {
+        EvaluationDomain::new(self.n).expect("vk domain was validated at preprocessing")
+    }
+}
+
+/// The proving key: circuit polynomials in coefficient and extended-coset
+/// form, plus the SRS prefix needed for committing.
+#[derive(Clone, Debug)]
+pub struct ProvingKey {
+    pub(crate) srs: Arc<Srs>,
+    pub(crate) domain: EvaluationDomain,
+    /// The 4n coset domain used for quotient computation.
+    pub(crate) domain4: EvaluationDomain,
+    pub(crate) q_polys: [DensePolynomial; 5],
+    pub(crate) sigma_polys: [DensePolynomial; 3],
+    /// Coset-extended evaluations of the 5 selectors on `domain4`.
+    pub(crate) q_ext: [Vec<Fr>; 5],
+    /// Coset-extended evaluations of σ₁..σ₃ on `domain4`.
+    pub(crate) sigma_ext: [Vec<Fr>; 3],
+    /// Per-row σ values (σ_j(ωⁱ)) used to build the permutation product.
+    pub(crate) sigma_vals: [Vec<Fr>; 3],
+    /// Coset-extended evaluations of `L₁` on `domain4`.
+    pub(crate) l1_ext: Vec<Fr>,
+    pub(crate) vk: VerifyingKey,
+}
+
+impl ProvingKey {
+    /// The matching verifying key.
+    pub fn verifying_key(&self) -> &VerifyingKey {
+        &self.vk
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> usize {
+        self.domain.size()
+    }
+}
+
+/// Derives `(ProvingKey, VerifyingKey)` for a circuit under the given SRS.
+pub(crate) fn preprocess(
+    srs: &Srs,
+    circuit: &CompiledCircuit,
+) -> Result<(ProvingKey, VerifyingKey), PlonkError> {
+    let n = circuit.rows();
+    let domain = EvaluationDomain::new(n).ok_or(PlonkError::CircuitTooLarge)?;
+    let domain4 = EvaluationDomain::new(4 * n).ok_or(PlonkError::CircuitTooLarge)?;
+    // Blinding raises wire polynomials to degree n+1 and the split quotient
+    // chunks to degree n+5.
+    if srs.max_degree() < n + 5 {
+        return Err(PlonkError::SrsTooSmall {
+            required: n + 5,
+            available: srs.max_degree(),
+        });
+    }
+
+    // Selector columns → polynomials.
+    let col =
+        |f: fn(&crate::builder::Selectors) -> Fr| -> Vec<Fr> { circuit.selectors.iter().map(f).collect() };
+    let q_cols = [
+        col(|s| s.q_l),
+        col(|s| s.q_r),
+        col(|s| s.q_o),
+        col(|s| s.q_m),
+        col(|s| s.q_c),
+    ];
+    let q_polys: [DensePolynomial; 5] =
+        q_cols.map(|c| DensePolynomial::from_coefficients(domain.ifft(&c)));
+
+    // Copy permutation: slot (col j, row i) carries id value k_j·ωⁱ; σ maps
+    // each slot to the next slot of the same variable's copy class.
+    let k = [Fr::ONE, coset_k1(), coset_k2()];
+    let omegas = domain.elements();
+    let id_val = |col: usize, row: usize| k[col] * omegas[row];
+
+    // Gather slots per representative variable.
+    let mut slots_of: Vec<Vec<(usize, usize)>> = vec![vec![]; circuit.assignments.len()];
+    for (row, w) in circuit.wires.iter().enumerate() {
+        slots_of[circuit.representatives[w.a.0]].push((0, row));
+        slots_of[circuit.representatives[w.b.0]].push((1, row));
+        slots_of[circuit.representatives[w.c.0]].push((2, row));
+    }
+    let mut sigma_vals = [vec![Fr::ZERO; n], vec![Fr::ZERO; n], vec![Fr::ZERO; n]];
+    for slots in &slots_of {
+        for (t, &(c, r)) in slots.iter().enumerate() {
+            let (nc, nr) = slots[(t + 1) % slots.len()];
+            sigma_vals[c][r] = id_val(nc, nr);
+        }
+    }
+    let sigma_polys: [DensePolynomial; 3] = [
+        DensePolynomial::from_coefficients(domain.ifft(&sigma_vals[0])),
+        DensePolynomial::from_coefficients(domain.ifft(&sigma_vals[1])),
+        DensePolynomial::from_coefficients(domain.ifft(&sigma_vals[2])),
+    ];
+
+    // Extended coset evaluations for the quotient round.
+    let ext = |p: &DensePolynomial| -> Vec<Fr> { domain4.coset_fft(p.coefficients()) };
+    let q_ext = [
+        ext(&q_polys[0]),
+        ext(&q_polys[1]),
+        ext(&q_polys[2]),
+        ext(&q_polys[3]),
+        ext(&q_polys[4]),
+    ];
+    let sigma_ext = [
+        ext(&sigma_polys[0]),
+        ext(&sigma_polys[1]),
+        ext(&sigma_polys[2]),
+    ];
+
+    // L₁ — the Lagrange basis polynomial at ω⁰ = 1.
+    let mut l1_evals = vec![Fr::ZERO; n];
+    l1_evals[0] = Fr::ONE;
+    let l1_poly = DensePolynomial::from_coefficients(domain.ifft(&l1_evals));
+    let l1_ext = ext(&l1_poly);
+
+    let vk = VerifyingKey {
+        n,
+        num_public_inputs: circuit.num_public_inputs,
+        q_l: srs.commit(&q_polys[0]),
+        q_r: srs.commit(&q_polys[1]),
+        q_o: srs.commit(&q_polys[2]),
+        q_m: srs.commit(&q_polys[3]),
+        q_c: srs.commit(&q_polys[4]),
+        sigma1: srs.commit(&sigma_polys[0]),
+        sigma2: srs.commit(&sigma_polys[1]),
+        sigma3: srs.commit(&sigma_polys[2]),
+        g2: srs.g2,
+        tau_g2: srs.tau_g2,
+    };
+
+    Ok((
+        ProvingKey {
+            srs: Arc::new(srs.clone()),
+            domain,
+            domain4,
+            q_polys,
+            sigma_polys,
+            q_ext,
+            sigma_ext,
+            sigma_vals,
+            l1_ext,
+            vk: vk.clone(),
+        },
+        vk,
+    ))
+}

@@ -1,0 +1,43 @@
+//! The PLONK proof object.
+
+use serde::{Deserialize, Serialize};
+use zkdet_field::Fr;
+use zkdet_kzg::KzgCommitment;
+
+/// A PLONK proof: exactly 9 G₁ points and 6 scalar-field elements
+/// (the constant size reported in §VI-B3 of the paper).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Proof {
+    /// Wire commitments `[a], [b], [c]`.
+    pub a: KzgCommitment,
+    pub b: KzgCommitment,
+    pub c: KzgCommitment,
+    /// Permutation-product commitment `[z]`.
+    pub z: KzgCommitment,
+    /// Split quotient commitments `[t_lo], [t_mid], [t_hi]`.
+    pub t_lo: KzgCommitment,
+    pub t_mid: KzgCommitment,
+    pub t_hi: KzgCommitment,
+    /// Batched opening proof at `ζ`.
+    pub w_zeta: KzgCommitment,
+    /// Opening proof for `z` at `ζω`.
+    pub w_zeta_omega: KzgCommitment,
+    /// Evaluations `ā, b̄, c̄, σ̄₁, σ̄₂, z̄_ω`.
+    pub a_eval: Fr,
+    pub b_eval: Fr,
+    pub c_eval: Fr,
+    pub sigma1_eval: Fr,
+    pub sigma2_eval: Fr,
+    pub z_omega_eval: Fr,
+}
+
+impl Proof {
+    /// Serialized size in bytes (uncompressed points): 9·65 + 6·32.
+    pub const SIZE_BYTES: usize = 9 * 65 + 6 * 32;
+
+    /// Number of G₁ elements in a proof.
+    pub const NUM_G1: usize = 9;
+
+    /// Number of field elements in a proof.
+    pub const NUM_FR: usize = 6;
+}

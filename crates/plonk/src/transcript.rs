@@ -1,0 +1,141 @@
+//! SHA-256-based Fiat–Shamir transcript.
+//!
+//! All prover/verifier challenges are derived by hash-chaining every prior
+//! protocol message; prover and verifier must absorb identical data in
+//! identical order, or verification fails.
+
+use zkdet_crypto::sha256::Sha256;
+use zkdet_curve::G1Affine;
+use zkdet_field::{Fq, Fr, PrimeField};
+
+/// A hash-chained Fiat–Shamir transcript.
+#[derive(Clone, Debug)]
+pub struct Transcript {
+    state: [u8; 32],
+}
+
+impl Transcript {
+    /// Fresh transcript bound to a protocol label.
+    pub fn new(label: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"zkdet-transcript-v1");
+        h.update(label);
+        Transcript {
+            state: h.finalize(),
+        }
+    }
+
+    /// Absorbs labelled bytes: `state ← H(state ‖ label ‖ len ‖ data)`.
+    pub fn absorb_bytes(&mut self, label: &[u8], data: &[u8]) {
+        let mut h = Sha256::new();
+        h.update(&self.state);
+        h.update(label);
+        h.update(&(data.len() as u64).to_le_bytes());
+        h.update(data);
+        self.state = h.finalize();
+    }
+
+    /// Absorbs a scalar-field element.
+    pub fn absorb_fr(&mut self, label: &[u8], x: &Fr) {
+        self.absorb_bytes(label, &x.to_bytes());
+    }
+
+    /// Absorbs a slice of scalar-field elements.
+    pub fn absorb_frs(&mut self, label: &[u8], xs: &[Fr]) {
+        let mut data = Vec::with_capacity(32 * xs.len());
+        for x in xs {
+            data.extend_from_slice(&x.to_bytes());
+        }
+        self.absorb_bytes(label, &data);
+    }
+
+    /// Absorbs a G1 point (affine coordinates, or a marker for infinity).
+    pub fn absorb_g1(&mut self, label: &[u8], p: &G1Affine) {
+        let mut data = Vec::with_capacity(65);
+        if p.is_identity() {
+            data.push(0u8);
+        } else {
+            data.push(1u8);
+            data.extend_from_slice(&fq_bytes(&p.x));
+            data.extend_from_slice(&fq_bytes(&p.y));
+        }
+        self.absorb_bytes(label, &data);
+    }
+
+    /// Squeezes an unbiased scalar-field challenge and folds it back into
+    /// the state (so successive challenges differ).
+    pub fn challenge_fr(&mut self, label: &[u8]) -> Fr {
+        let mut h1 = Sha256::new();
+        h1.update(&self.state);
+        h1.update(label);
+        h1.update(&[0x01]);
+        let d1 = h1.finalize();
+        let mut h2 = Sha256::new();
+        h2.update(&self.state);
+        h2.update(label);
+        h2.update(&[0x02]);
+        let d2 = h2.finalize();
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&d1);
+        wide[32..].copy_from_slice(&d2);
+        self.state = d1;
+        Fr::from_bytes_wide(&wide)
+    }
+}
+
+fn fq_bytes(x: &Fq) -> [u8; 32] {
+    x.to_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkdet_curve::G1Projective;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut t1 = Transcript::new(b"test");
+        let mut t2 = Transcript::new(b"test");
+        t1.absorb_fr(b"x", &Fr::from(1u64));
+        t1.absorb_fr(b"y", &Fr::from(2u64));
+        t2.absorb_fr(b"x", &Fr::from(1u64));
+        t2.absorb_fr(b"y", &Fr::from(2u64));
+        assert_eq!(t1.challenge_fr(b"c"), t2.challenge_fr(b"c"));
+
+        let mut t3 = Transcript::new(b"test");
+        t3.absorb_fr(b"y", &Fr::from(2u64));
+        t3.absorb_fr(b"x", &Fr::from(1u64));
+        assert_ne!(
+            Transcript::new(b"test").challenge_fr(b"c"),
+            t3.challenge_fr(b"c")
+        );
+    }
+
+    #[test]
+    fn successive_challenges_differ() {
+        let mut t = Transcript::new(b"test");
+        let c1 = t.challenge_fr(b"c");
+        let c2 = t.challenge_fr(b"c");
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn labels_matter() {
+        let mut t1 = Transcript::new(b"a");
+        let mut t2 = Transcript::new(b"b");
+        assert_ne!(t1.challenge_fr(b"c"), t2.challenge_fr(b"c"));
+    }
+
+    #[test]
+    fn points_absorb_distinctly() {
+        let g = G1Projective::generator().to_affine();
+        let mut t1 = Transcript::new(b"pt");
+        t1.absorb_g1(b"p", &g);
+        let mut t2 = Transcript::new(b"pt");
+        t2.absorb_g1(b"p", &(-g));
+        assert_ne!(t1.challenge_fr(b"c"), t2.challenge_fr(b"c"));
+        let mut t3 = Transcript::new(b"pt");
+        t3.absorb_g1(b"p", &G1Affine::identity());
+        assert_ne!(t1.challenge_fr(b"c2"), t3.challenge_fr(b"c2"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Content-addressed distributed storage — the IPFS substitute (§III-A).
+//!
+//! ZKDET stores encrypted datasets off-chain in a public content-addressed
+//! network and records only the URI (the content hash) on-chain. The
+//! protocol relies on exactly three properties, all provided here:
+//!
+//! 1. **Content addressing** — `URI := H(Ĉ)`; see [`Cid`].
+//! 2. **Public retrievability** — anyone holding a CID can fetch the
+//!    ciphertext; see [`StorageNetwork::retrieve`].
+//! 3. **Tamper evidence** — any mutation changes the digest and is
+//!    detected on fetch; see [`StorageError::DigestMismatch`].
+//!
+//! The network is simulated as a set of nodes with XOR-metric (Kademlia
+//! style) routing: content is replicated to the `K_REPLICATION` closest
+//! nodes and looked up by iterative XOR search, with hop counts exposed for
+//! the curious. Churn (node removal) is supported to exercise replication.
+
+mod cid;
+mod dht;
+mod network;
+
+pub use cid::Cid;
+pub use dht::{xor_distance, DhtNode, NodeId, K_REPLICATION};
+pub use network::{PinOwner, StorageError, StorageNetwork};

@@ -1,0 +1,284 @@
+//! The public storage-network API used by the ZKDET protocols.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::dht::{xor_distance, DhtNode, NodeId, ALPHA, K_REPLICATION};
+use crate::Cid;
+
+/// Identifier of the party that pinned a block (only the owner may unpin —
+/// "any persisted dataset will not be removed unless explicitly requested
+/// by its owner", §IV-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PinOwner(pub u64);
+
+/// Errors surfaced by the storage network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// No node holds the requested content.
+    NotFound(Cid),
+    /// A block was found but its bytes do not hash to the CID (tampering).
+    DigestMismatch(Cid),
+    /// Unpin attempted by a non-owner.
+    NotOwner(Cid),
+}
+
+impl core::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StorageError::NotFound(c) => write!(f, "content {c} not found"),
+            StorageError::DigestMismatch(c) => write!(f, "content {c} failed digest check"),
+            StorageError::NotOwner(c) => write!(f, "caller does not own pin for {c}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Statistics of a retrieval (exposed for the curious and for tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrievalStats {
+    /// DHT lookup iterations performed.
+    pub hops: usize,
+    /// Node that served the block.
+    pub served_by: NodeId,
+}
+
+struct Inner {
+    nodes: HashMap<NodeId, DhtNode>,
+    /// Pin ownership records.
+    owners: HashMap<Cid, PinOwner>,
+    /// Adversarial test hook: corrupt a stored block in place.
+    corrupted: Vec<Cid>,
+}
+
+/// A simulated content-addressed storage network (IPFS substitute).
+///
+/// Thread-safe; cloneable handles can be added later if needed (the
+/// protocols only need one handle per scenario).
+pub struct StorageNetwork {
+    inner: RwLock<Inner>,
+}
+
+impl StorageNetwork {
+    /// Spins up a network of `num_nodes` deterministic nodes with converged
+    /// routing tables.
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes >= 1, "network needs at least one node");
+        let ids: Vec<NodeId> = (0..num_nodes as u64).map(NodeId::from_seed).collect();
+        let mut nodes = HashMap::new();
+        for id in &ids {
+            let peers = ids.iter().filter(|p| *p != id).copied().collect();
+            nodes.insert(
+                *id,
+                DhtNode {
+                    blocks: HashMap::new(),
+                    peers,
+                },
+            );
+        }
+        StorageNetwork {
+            inner: RwLock::new(Inner {
+                nodes,
+                owners: HashMap::new(),
+                corrupted: vec![],
+            }),
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.read().nodes.len()
+    }
+
+    /// Publishes a blob: computes its CID and replicates it to the
+    /// `K_REPLICATION` closest nodes. Returns the URI (= CID).
+    pub fn publish(&self, owner: PinOwner, data: impl Into<Bytes>) -> Cid {
+        let data = data.into();
+        let cid = Cid::from_bytes(&data);
+        let mut inner = self.inner.write();
+        let mut ids: Vec<NodeId> = inner.nodes.keys().copied().collect();
+        ids.sort_by_key(|n| xor_distance(n, &cid));
+        for id in ids.into_iter().take(K_REPLICATION) {
+            inner
+                .nodes
+                .get_mut(&id)
+                .expect("node exists")
+                .blocks
+                .insert(cid, data.clone());
+        }
+        inner.owners.entry(cid).or_insert(owner);
+        cid
+    }
+
+    /// Retrieves a blob by iterative XOR-metric lookup from a random entry
+    /// node, verifying the digest on arrival.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] if no replica survives;
+    /// [`StorageError::DigestMismatch`] if the serving node returned bytes
+    /// that do not hash to the CID.
+    pub fn retrieve(&self, cid: &Cid) -> Result<Bytes, StorageError> {
+        self.retrieve_with_stats(cid).map(|(b, _)| b)
+    }
+
+    /// [`Self::retrieve`] with lookup statistics.
+    pub fn retrieve_with_stats(&self, cid: &Cid) -> Result<(Bytes, RetrievalStats), StorageError> {
+        let inner = self.inner.read();
+        // Entry node: the lexicographically first (deterministic).
+        let mut current = *inner
+            .nodes
+            .keys()
+            .min()
+            .ok_or(StorageError::NotFound(*cid))?;
+        let mut visited = vec![current];
+        for hop in 0..64 {
+            let node = &inner.nodes[&current];
+            if let Some(bytes) = node.blocks.get(cid) {
+                if inner.corrupted.contains(cid) || !cid.matches(bytes) {
+                    return Err(StorageError::DigestMismatch(*cid));
+                }
+                return Ok((
+                    bytes.clone(),
+                    RetrievalStats {
+                        hops: hop,
+                        served_by: current,
+                    },
+                ));
+            }
+            // Move to the closest unvisited peer (α candidates, pick best).
+            let candidates = node.closest_known(cid, ALPHA + visited.len());
+            let next = candidates
+                .into_iter()
+                .find(|c| !visited.contains(c))
+                .ok_or(StorageError::NotFound(*cid))?;
+            visited.push(next);
+            current = next;
+        }
+        Err(StorageError::NotFound(*cid))
+    }
+
+    /// Unpins content; only the original publisher may do so (§IV-A).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotOwner`] for anyone else;
+    /// [`StorageError::NotFound`] if nothing is pinned under the CID.
+    pub fn unpin(&self, owner: PinOwner, cid: &Cid) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        match inner.owners.get(cid) {
+            None => return Err(StorageError::NotFound(*cid)),
+            Some(o) if *o != owner => return Err(StorageError::NotOwner(*cid)),
+            Some(_) => {}
+        }
+        inner.owners.remove(cid);
+        for node in inner.nodes.values_mut() {
+            node.blocks.remove(cid);
+        }
+        Ok(())
+    }
+
+    /// Kills a node (churn); content replicated elsewhere stays available.
+    pub fn kill_node(&self, id: NodeId) {
+        let mut inner = self.inner.write();
+        inner.nodes.remove(&id);
+        for node in inner.nodes.values_mut() {
+            node.peers.retain(|p| *p != id);
+        }
+    }
+
+    /// Nodes currently pinning a CID (diagnostics).
+    pub fn replica_nodes(&self, cid: &Cid) -> Vec<NodeId> {
+        let inner = self.inner.read();
+        let mut out: Vec<NodeId> = inner
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.blocks.contains_key(cid))
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Adversarial test hook: marks a block as corrupted so retrieval
+    /// exercises the tamper-evidence path.
+    #[doc(hidden)]
+    pub fn corrupt_block(&self, cid: &Cid) {
+        self.inner.write().corrupted.push(*cid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_retrieve_roundtrip() {
+        let net = StorageNetwork::new(10);
+        let cid = net.publish(PinOwner(1), &b"encrypted dataset bytes"[..]);
+        let got = net.retrieve(&cid).unwrap();
+        assert_eq!(&got[..], b"encrypted dataset bytes");
+        assert_eq!(net.replica_nodes(&cid).len(), K_REPLICATION);
+    }
+
+    #[test]
+    fn content_addressing_deduplicates() {
+        let net = StorageNetwork::new(5);
+        let c1 = net.publish(PinOwner(1), &b"same"[..]);
+        let c2 = net.publish(PinOwner(2), &b"same"[..]);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn missing_content_not_found() {
+        let net = StorageNetwork::new(5);
+        let bogus = Cid::from_bytes(b"never published");
+        assert_eq!(net.retrieve(&bogus), Err(StorageError::NotFound(bogus)));
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let net = StorageNetwork::new(5);
+        let cid = net.publish(PinOwner(1), &b"data"[..]);
+        net.corrupt_block(&cid);
+        assert_eq!(net.retrieve(&cid), Err(StorageError::DigestMismatch(cid)));
+    }
+
+    #[test]
+    fn only_owner_can_unpin() {
+        let net = StorageNetwork::new(5);
+        let cid = net.publish(PinOwner(1), &b"data"[..]);
+        assert_eq!(
+            net.unpin(PinOwner(2), &cid),
+            Err(StorageError::NotOwner(cid))
+        );
+        assert!(net.unpin(PinOwner(1), &cid).is_ok());
+        assert_eq!(net.retrieve(&cid), Err(StorageError::NotFound(cid)));
+    }
+
+    #[test]
+    fn survives_node_churn_within_replication() {
+        let net = StorageNetwork::new(12);
+        let cid = net.publish(PinOwner(1), &b"replicated"[..]);
+        let replicas = net.replica_nodes(&cid);
+        // Kill all but one replica.
+        for id in &replicas[..replicas.len() - 1] {
+            net.kill_node(*id);
+        }
+        assert_eq!(&net.retrieve(&cid).unwrap()[..], b"replicated");
+        // Killing the last replica loses the content.
+        net.kill_node(replicas[replicas.len() - 1]);
+        assert_eq!(net.retrieve(&cid), Err(StorageError::NotFound(cid)));
+    }
+
+    #[test]
+    fn lookup_terminates_on_large_network() {
+        let net = StorageNetwork::new(64);
+        let cid = net.publish(PinOwner(1), &b"needle"[..]);
+        let (_, stats) = net.retrieve_with_stats(&cid).unwrap();
+        assert!(stats.hops < 64);
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared helpers for the runnable ZKDET examples (see `src/bin/`).
+//!
+//! * `quickstart` — publish one dataset, audit it, done (start here);
+//! * `data_marketplace` — the full lifecycle: transformations, provenance
+//!   audits and a key-secure sale with balance accounting;
+//! * `model_training` — the §IV-E scenario: train a logistic-regression
+//!   model on a committed dataset and sell the parameters with a proof of
+//!   training;
+//! * `zkcp_vs_zkdet` — both exchange protocols side by side, demonstrating
+//!   the key leak ZKDET eliminates.
+
+use zkdet_core::Dataset;
+use zkdet_field::Fr;
+
+/// Builds a dataset from `u64` sensor-style readings.
+pub fn readings(vals: &[u64]) -> Dataset {
+    Dataset::from_entries(vals.iter().map(|v| Fr::from(*v)).collect())
+}
+
+/// Pretty separator for example output.
+pub fn banner(title: &str) {
+    println!("\n━━━ {title} ━━━");
+}

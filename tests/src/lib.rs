@@ -1,0 +1,11 @@
+//! Cross-crate integration-test helpers. The actual tests live in
+//! `tests/tests/` and exercise full stacks: field → curve → KZG → PLONK →
+//! circuits → protocols → chain + storage.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG for integration scenarios.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
