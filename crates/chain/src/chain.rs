@@ -132,6 +132,25 @@ pub enum ChainError {
     BadComplaint(SwapId),
     /// FairSwap: the complained block actually decrypts correctly.
     ComplaintUnfounded(SwapId),
+    /// Duplicate settlement: this listing was already settled at the given
+    /// height. A resubmitted (or re-orged and replayed) settle transaction
+    /// gets this instead of a generic state error, so callers can treat
+    /// their earlier transaction as having landed.
+    AlreadySettled {
+        listing: ListingId,
+        at_height: u64,
+    },
+    /// FairSwap: the swap already reached a terminal state (completed or
+    /// refunded) at the given height — the duplicate-transaction analogue
+    /// of [`ChainError::AlreadySettled`].
+    SwapAlreadyClosed {
+        swap: SwapId,
+        at_height: u64,
+    },
+    /// An escrow invariant broke while unwinding a failed transaction —
+    /// funds that were just escrowed could not be returned. Indicates a
+    /// ledger bug, never normal operation.
+    EscrowInvariant(&'static str),
 }
 
 impl core::fmt::Display for ChainError {
@@ -186,6 +205,13 @@ pub struct Blockchain {
     auctions: HashMap<Address, AuctionContract>,
     fairswaps: HashMap<Address, FairSwapContract>,
     tx_counter: u64,
+    /// Settlement journal: listing → height it settled at. Consulted by the
+    /// settle entry points so duplicate or replayed transactions are
+    /// recognised ([`ChainError::AlreadySettled`]) instead of failing with
+    /// an opaque state error or, worse, double-paying.
+    listing_settlements: HashMap<(Address, ListingId), u64>,
+    /// Same journal for FairSwap terminal transitions (complete/refund).
+    swap_closures: HashMap<(Address, SwapId), u64>,
 }
 
 impl Default for Blockchain {
@@ -212,12 +238,28 @@ impl Blockchain {
             auctions: HashMap::new(),
             fairswaps: HashMap::new(),
             tx_counter: 0,
+            listing_settlements: HashMap::new(),
+            swap_closures: HashMap::new(),
         }
     }
 
     /// Current block height.
     pub fn height(&self) -> u64 {
-        self.blocks.last().expect("genesis").height
+        self.blocks.last().map_or(0, |b| b.height)
+    }
+
+    /// Height at which a listing settled, if it has.
+    ///
+    /// Lets a seller whose settle transaction may have been dropped (or
+    /// re-orged and replayed) distinguish "already landed" from "never
+    /// happened" without parsing errors.
+    pub fn settlement_height(&self, auction: Address, listing: ListingId) -> Option<u64> {
+        self.listing_settlements.get(&(auction, listing)).copied()
+    }
+
+    /// Height at which a FairSwap reached its terminal state, if it has.
+    pub fn swap_closure_height(&self, contract: Address, swap: SwapId) -> Option<u64> {
+        self.swap_closures.get(&(contract, swap)).copied()
     }
 
     /// All mined blocks.
@@ -231,8 +273,8 @@ impl Blockchain {
     }
 
     /// Mines pending receipts into a new block.
-    pub fn mine_block(&mut self) -> &Block {
-        let parent = self.blocks.last().expect("genesis").hash;
+    pub fn mine_block(&mut self) -> Block {
+        let parent = self.blocks.last().map_or([0u8; 32], |b| b.hash);
         let mut h = zkdet_crypto::Sha256::new();
         h.update(&parent);
         for r in &self.pending {
@@ -246,8 +288,41 @@ impl Blockchain {
             parent,
             receipts: std::mem::take(&mut self.pending),
         };
-        self.blocks.push(block);
-        self.blocks.last().expect("just pushed")
+        self.blocks.push(block.clone());
+        block
+    }
+
+    /// Simulates a shallow chain re-organisation: the newest `depth` blocks
+    /// (never the genesis block) are orphaned and their receipts returned to
+    /// the pending pool, in their original order, ahead of anything already
+    /// pending. A later [`Self::mine_block`] re-includes them.
+    ///
+    /// Contract and ledger state are **not** rolled back — this models the
+    /// common re-org where the same transactions are simply re-mined into a
+    /// different block, which is exactly the situation the settlement
+    /// journal exists for: a settle/refund that was "confirmed", orphaned
+    /// and replayed must not pay twice. Returns the number of receipts
+    /// disturbed.
+    pub fn reorg(&mut self, depth: u64) -> usize {
+        let mut orphaned = Vec::new();
+        for _ in 0..depth {
+            if self.blocks.len() <= 1 {
+                break; // never orphan genesis
+            }
+            if let Some(block) = self.blocks.pop() {
+                orphaned.push(block);
+            }
+        }
+        // Oldest orphaned block first, then the previously pending receipts.
+        let mut replay: Vec<Receipt> = orphaned
+            .into_iter()
+            .rev()
+            .flat_map(|b| b.receipts)
+            .collect();
+        let disturbed = replay.len();
+        replay.append(&mut self.pending);
+        self.pending = replay;
+        disturbed
     }
 
     fn finish_tx(&mut self, meter: GasMeter, events: Vec<Event>, action: String) -> Receipt {
@@ -451,7 +526,7 @@ impl Blockchain {
                 // Revert the escrow.
                 self.state
                     .transfer(auction_addr, buyer, payment)
-                    .expect("escrow revert");
+                    .map_err(|_| ChainError::EscrowInvariant("lock escrow revert failed"))?;
                 return Err(e);
             }
         }
@@ -460,6 +535,13 @@ impl Blockchain {
 
     /// Key-secure settlement: verifies `π_k` on-chain, pays the seller and
     /// hands the token to the buyer (§IV-F).
+    ///
+    /// Idempotent under resubmission: a listing already settled (possibly in
+    /// a block that was later re-orged and replayed) yields
+    /// [`ChainError::AlreadySettled`] and moves no funds. If the payment or
+    /// token transfer fails downstream, the listing's state transition is
+    /// rolled back so the escrow never wedges half-settled.
+    #[allow(clippy::too_many_arguments)]
     pub fn auction_settle_key_secure(
         &mut self,
         auction_addr: Address,
@@ -470,6 +552,9 @@ impl Blockchain {
         k_c: Fr,
         proof: &Proof,
     ) -> Result<Receipt, ChainError> {
+        if let Some(at_height) = self.settlement_height(auction_addr, listing) {
+            return Err(ChainError::AlreadySettled { listing, at_height });
+        }
         let mut meter = GasMeter::for_tx(
             zkdet_plonk::Proof::SIZE_BYTES + 32, // proof + k_c calldata
         );
@@ -482,6 +567,7 @@ impl Blockchain {
             .auctions
             .get_mut(&auction_addr)
             .ok_or(ChainError::NoSuchContract(auction_addr))?;
+        let prior = auction.listing(listing)?.state.clone();
         let (buyer, payment) = auction.settle_key_secure(
             &mut meter,
             &mut events,
@@ -492,17 +578,56 @@ impl Blockchain {
             proof,
         )?;
         let token = auction.listing(listing)?.token;
-        // Pay the seller and release the token.
-        self.state.transfer(auction_addr, seller, payment)?;
-        let nft = self
-            .nfts
-            .get_mut(&nft_addr)
-            .ok_or(ChainError::NoSuchContract(nft_addr))?;
-        nft.transfer(&mut meter, &mut events, auction_addr, buyer, token)?;
+        // Pay the seller and release the token, unwinding the listing's
+        // state transition if either leg fails.
+        if let Err(e) = self.state.transfer(auction_addr, seller, payment) {
+            self.rollback_listing(auction_addr, listing, prior);
+            return Err(e.into());
+        }
+        let Some(nft) = self.nfts.get_mut(&nft_addr) else {
+            self.unwind_settlement_payment(auction_addr, seller, payment)?;
+            self.rollback_listing(auction_addr, listing, prior);
+            return Err(ChainError::NoSuchContract(nft_addr));
+        };
+        if let Err(e) = nft.transfer(&mut meter, &mut events, auction_addr, buyer, token) {
+            self.unwind_settlement_payment(auction_addr, seller, payment)?;
+            self.rollback_listing(auction_addr, listing, prior);
+            return Err(e);
+        }
+        self.listing_settlements
+            .insert((auction_addr, listing), self.height() + 1);
         Ok(self.finish_tx(meter, events, format!("key-secure settle {listing:?}")))
     }
 
+    /// Restores a listing's state after a failed settlement leg.
+    fn rollback_listing(
+        &mut self,
+        auction_addr: Address,
+        listing: ListingId,
+        prior: crate::contracts::ListingState,
+    ) {
+        if let Some(auction) = self.auctions.get_mut(&auction_addr) {
+            auction.rollback_state(listing, prior);
+        }
+    }
+
+    /// Returns a just-made settlement payment to the escrow account; a
+    /// failure here means the ledger itself is inconsistent.
+    fn unwind_settlement_payment(
+        &mut self,
+        escrow: Address,
+        paid_to: Address,
+        payment: Wei,
+    ) -> Result<(), ChainError> {
+        self.state
+            .transfer(paid_to, escrow, payment)
+            .map_err(|_| ChainError::EscrowInvariant("settlement payment unwind failed"))
+    }
+
     /// ZKCP-baseline settlement: the seller reveals `k` on-chain (§III-C).
+    ///
+    /// Same idempotency and rollback guarantees as
+    /// [`Self::auction_settle_key_secure`].
     pub fn auction_settle_zkcp(
         &mut self,
         auction_addr: Address,
@@ -511,25 +636,45 @@ impl Blockchain {
         listing: ListingId,
         k: Fr,
     ) -> Result<Receipt, ChainError> {
+        if let Some(at_height) = self.settlement_height(auction_addr, listing) {
+            return Err(ChainError::AlreadySettled { listing, at_height });
+        }
         let mut meter = GasMeter::for_tx(64);
         let mut events = vec![];
         let auction = self
             .auctions
             .get_mut(&auction_addr)
             .ok_or(ChainError::NoSuchContract(auction_addr))?;
+        let prior = auction.listing(listing)?.state.clone();
         let (buyer, payment) =
             auction.settle_zkcp(&mut meter, &mut events, listing, seller, k)?;
         let token = auction.listing(listing)?.token;
-        self.state.transfer(auction_addr, seller, payment)?;
-        let nft = self
-            .nfts
-            .get_mut(&nft_addr)
-            .ok_or(ChainError::NoSuchContract(nft_addr))?;
-        nft.transfer(&mut meter, &mut events, auction_addr, buyer, token)?;
+        if let Err(e) = self.state.transfer(auction_addr, seller, payment) {
+            self.rollback_listing(auction_addr, listing, prior);
+            return Err(e.into());
+        }
+        let Some(nft) = self.nfts.get_mut(&nft_addr) else {
+            self.unwind_settlement_payment(auction_addr, seller, payment)?;
+            self.rollback_listing(auction_addr, listing, prior);
+            return Err(ChainError::NoSuchContract(nft_addr));
+        };
+        if let Err(e) = nft.transfer(&mut meter, &mut events, auction_addr, buyer, token) {
+            self.unwind_settlement_payment(auction_addr, seller, payment)?;
+            self.rollback_listing(auction_addr, listing, prior);
+            return Err(e);
+        }
+        self.listing_settlements
+            .insert((auction_addr, listing), self.height() + 1);
         Ok(self.finish_tx(meter, events, format!("zkcp settle {listing:?}")))
     }
 
     /// Buyer reclaims escrow after the refund timeout.
+    ///
+    /// If the payout transfer fails, the listing's state transition is
+    /// rolled back (the escrow stays claimable rather than silently
+    /// re-opening unpaid). A refund replayed after it already succeeded
+    /// finds the listing re-opened and fails with a clean state error
+    /// without touching funds.
     pub fn auction_refund(
         &mut self,
         auction_addr: Address,
@@ -543,9 +688,13 @@ impl Blockchain {
             .auctions
             .get_mut(&auction_addr)
             .ok_or(ChainError::NoSuchContract(auction_addr))?;
+        let prior = auction.listing(listing)?.state.clone();
         let (to, payment) =
             auction.refund(&mut meter, &mut events, listing, buyer, height)?;
-        self.state.transfer(auction_addr, to, payment)?;
+        if let Err(e) = self.state.transfer(auction_addr, to, payment) {
+            self.rollback_listing(auction_addr, listing, prior);
+            return Err(e.into());
+        }
         Ok(self.finish_tx(meter, events, format!("refund listing {listing:?}")))
     }
 
@@ -612,9 +761,10 @@ impl Blockchain {
             .get_mut(&contract)
             .ok_or(ChainError::NoSuchContract(contract))?;
         if let Err(e) = fs.accept(&mut meter, &mut events, swap, buyer, payment) {
+            // Revert the escrow.
             self.state
                 .transfer(contract, buyer, payment)
-                .expect("escrow revert");
+                .map_err(|_| ChainError::EscrowInvariant("accept escrow revert failed"))?;
             return Err(e);
         }
         Ok(self.finish_tx(meter, events, format!("fairswap accept {swap:?}")))
@@ -657,10 +807,14 @@ impl Blockchain {
         let calldata = 2 * 32 * (ciphertext_path.siblings.len() + 2) + 16;
         let mut meter = GasMeter::for_tx(calldata);
         let mut events = vec![];
+        if let Some(at_height) = self.swap_closure_height(contract, swap) {
+            return Err(ChainError::SwapAlreadyClosed { swap, at_height });
+        }
         let fs = self
             .fairswaps
             .get_mut(&contract)
             .ok_or(ChainError::NoSuchContract(contract))?;
+        let prior = fs.swap(swap)?.state.clone();
         let (to, payment) = fs.complain(
             &mut meter,
             &mut events,
@@ -673,8 +827,24 @@ impl Blockchain {
             expected_path,
             height,
         )?;
-        self.state.transfer(contract, to, payment)?;
+        if let Err(e) = self.state.transfer(contract, to, payment) {
+            self.rollback_swap(contract, swap, prior);
+            return Err(e.into());
+        }
+        self.swap_closures.insert((contract, swap), height + 1);
         Ok(self.finish_tx(meter, events, format!("fairswap complain {swap:?}")))
+    }
+
+    /// Restores a swap's state after a failed payout leg.
+    fn rollback_swap(
+        &mut self,
+        contract: Address,
+        swap: SwapId,
+        prior: crate::contracts::SwapState,
+    ) {
+        if let Some(fs) = self.fairswaps.get_mut(&contract) {
+            fs.rollback_state(swap, prior);
+        }
     }
 
     /// Seller finalizes after an uncontested complaint window.
@@ -687,12 +857,20 @@ impl Blockchain {
         let height = self.height();
         let mut meter = GasMeter::for_tx(40);
         let mut events = vec![];
+        if let Some(at_height) = self.swap_closure_height(contract, swap) {
+            return Err(ChainError::SwapAlreadyClosed { swap, at_height });
+        }
         let fs = self
             .fairswaps
             .get_mut(&contract)
             .ok_or(ChainError::NoSuchContract(contract))?;
+        let prior = fs.swap(swap)?.state.clone();
         let (to, payment) = fs.finalize(&mut meter, &mut events, swap, seller, height)?;
-        self.state.transfer(contract, to, payment)?;
+        if let Err(e) = self.state.transfer(contract, to, payment) {
+            self.rollback_swap(contract, swap, prior);
+            return Err(e.into());
+        }
+        self.swap_closures.insert((contract, swap), height + 1);
         Ok(self.finish_tx(meter, events, format!("fairswap finalize {swap:?}")))
     }
 
@@ -716,6 +894,7 @@ impl Blockchain {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use zkdet_field::Field;

@@ -163,6 +163,7 @@ impl AuctionContract {
 
     /// Buyer locks the listing at the current clock price, posting `h_v`.
     /// Payment escrow is performed by the blockchain layer before this call.
+    #[allow(clippy::too_many_arguments)]
     pub fn lock(
         &mut self,
         meter: &mut GasMeter,
@@ -213,6 +214,7 @@ impl AuctionContract {
     /// On success returns `(buyer, payment)` so the blockchain layer can
     /// move funds and the token; the blinded key is published in an event —
     /// only the buyer, knowing `k_v`, can un-blind it.
+    #[allow(clippy::too_many_arguments)]
     pub fn settle_key_secure(
         &mut self,
         meter: &mut GasMeter,
@@ -340,5 +342,15 @@ impl AuctionContract {
     /// any chain observer (the vulnerability §IV-F removes).
     pub fn leaked_keys(&self) -> &[(ListingId, Fr)] {
         &self.zkcp_disclosed_keys
+    }
+
+    /// Restores a listing's lifecycle state, unwinding a state transition
+    /// whose enclosing transaction failed downstream (e.g. the payment or
+    /// token transfer could not be performed). Only the blockchain layer
+    /// may call this, as part of its all-or-nothing transaction guarantee.
+    pub(crate) fn rollback_state(&mut self, id: ListingId, state: ListingState) {
+        if let Some(listing) = self.listings.get_mut(&id) {
+            listing.state = state;
+        }
     }
 }

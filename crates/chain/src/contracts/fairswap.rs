@@ -310,4 +310,13 @@ impl FairSwapContract {
         events.push(Event::SwapCompleted { swap: id });
         Ok((swap.seller, payment))
     }
+
+    /// Restores a swap's lifecycle state, unwinding a state transition whose
+    /// enclosing transaction failed downstream. Only the blockchain layer
+    /// may call this, as part of its all-or-nothing transaction guarantee.
+    pub(crate) fn rollback_state(&mut self, id: SwapId, state: SwapState) {
+        if let Some(swap) = self.swaps.get_mut(&id) {
+            swap.state = state;
+        }
+    }
 }

@@ -1,4 +1,5 @@
 //! Contract-level scenario tests for the auction, escrow and refund logic.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use rand::{rngs::StdRng, SeedableRng};
 use zkdet_chain::contracts::{ListingState, REFUND_TIMEOUT_BLOCKS};

@@ -107,7 +107,11 @@ impl<'a> Reader<'a> {
 
     /// Reads a u64 (LE).
     pub fn u64(&mut self) -> Result<u64, ZkdetError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        let bytes: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| ZkdetError::Codec("u64 slice length".into()))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Reads a byte.
@@ -117,13 +121,19 @@ impl<'a> Reader<'a> {
 
     /// Reads a canonical scalar-field element.
     pub fn fr(&mut self) -> Result<Fr, ZkdetError> {
-        let bytes: [u8; 32] = self.take(32)?.try_into().expect("32");
+        let bytes: [u8; 32] = self
+            .take(32)?
+            .try_into()
+            .map_err(|_| ZkdetError::Codec("Fr slice length".into()))?;
         Fr::from_bytes(&bytes).ok_or_else(|| ZkdetError::Codec("non-canonical Fr".into()))
     }
 
     /// Reads a canonical base-field element.
     pub fn fq(&mut self) -> Result<Fq, ZkdetError> {
-        let bytes: [u8; 32] = self.take(32)?.try_into().expect("32");
+        let bytes: [u8; 32] = self
+            .take(32)?
+            .try_into()
+            .map_err(|_| ZkdetError::Codec("Fq slice length".into()))?;
         Fq::from_bytes(&bytes).ok_or_else(|| ZkdetError::Codec("non-canonical Fq".into()))
     }
 
@@ -252,7 +262,9 @@ pub fn decode_proof_compressed(data: &[u8]) -> Result<Proof, ZkdetError> {
     }
     let mut points = [G1Affine::identity(); 9];
     for (i, p) in points.iter_mut().enumerate() {
-        let bytes: [u8; 33] = data[33 * i..33 * (i + 1)].try_into().expect("33");
+        let bytes: [u8; 33] = data[33 * i..33 * (i + 1)]
+            .try_into()
+            .map_err(|_| ZkdetError::Codec("compressed point slice length".into()))?;
         *p = G1Affine::from_compressed(&bytes)
             .ok_or_else(|| ZkdetError::Codec(format!("bad compressed point {i}")))?;
     }
@@ -261,7 +273,7 @@ pub fn decode_proof_compressed(data: &[u8]) -> Result<Proof, ZkdetError> {
     for (i, e) in evals.iter_mut().enumerate() {
         let bytes: [u8; 32] = data[base + 32 * i..base + 32 * (i + 1)]
             .try_into()
-            .expect("32");
+            .map_err(|_| ZkdetError::Codec("eval slice length".into()))?;
         *e = Fr::from_bytes(&bytes)
             .ok_or_else(|| ZkdetError::Codec(format!("non-canonical eval {i}")))?;
     }
@@ -288,6 +300,7 @@ pub fn decode_proof_compressed(data: &[u8]) -> Result<Proof, ZkdetError> {
 use zkdet_field::Field;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};

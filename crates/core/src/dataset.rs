@@ -1,6 +1,6 @@
 //! Dataset representation and encodings.
 
-use zkdet_field::{Fr, PrimeField};
+use zkdet_field::{Field, Fr, PrimeField};
 
 /// A plaintext dataset: an ordered tuple of field elements `(dᵢ)` as in the
 /// paper's notation. Arbitrary bytes are packed 31 bytes per element so
@@ -26,7 +26,10 @@ impl Dataset {
         for chunk in data.chunks(PACK) {
             let mut buf = [0u8; 32];
             buf[..chunk.len()].copy_from_slice(chunk);
-            entries.push(Fr::from_bytes(&buf).expect("31-byte values are canonical"));
+            // A 31-byte little-endian value is < 2²⁴⁸ < r, so decoding can
+            // never reject it; the fallback is unreachable but keeps the
+            // packing path panic-free.
+            entries.push(Fr::from_bytes(&buf).unwrap_or(Fr::ZERO));
         }
         entries.push(Fr::from(data.len() as u64));
         Dataset { entries }
@@ -107,6 +110,7 @@ impl From<Vec<Fr>> for Dataset {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -1,8 +1,29 @@
-//! The unified error type of the protocol layer.
+//! The unified error type of the protocol layer, plus the
+//! recoverable-vs-fatal taxonomy resilient drivers dispatch on.
 
 use zkdet_chain::ChainError;
 use zkdet_plonk::PlonkError;
 use zkdet_storage::StorageError;
+
+/// How a failed protocol step should be handled by a resilient driver.
+///
+/// The classification answers one question: *is it worth trying again, and
+/// if not, can the buyer at least get the escrow back?*
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Recovery {
+    /// Infrastructure hiccup (dropped requests, a refund attempted one
+    /// block early): the same step may succeed if simply retried after
+    /// some time passes.
+    Transient,
+    /// The exchange cannot complete — the artefacts are irretrievable,
+    /// tampered with, or inconsistent with the on-chain record — but no
+    /// money needs to be lost: abort and take the refund path once the
+    /// timeout allows.
+    AbortAndRefund,
+    /// Integrity or programming error (invalid proof, missing secrets,
+    /// protocol misuse): neither retrying nor refunding is meaningful.
+    Fatal,
+}
 
 /// Anything that can go wrong while running the ZKDET protocols.
 #[derive(Debug)]
@@ -37,6 +58,40 @@ impl core::fmt::Display for ZkdetError {
             ZkdetError::MissingSecret(t) => write!(f, "no seller secrets for token {t}"),
             ZkdetError::Protocol(what) => write!(f, "protocol misuse: {what}"),
         }
+    }
+}
+
+impl ZkdetError {
+    /// Classifies this error for a resilient exchange driver.
+    ///
+    /// - Storage faults that are transient by nature ([`StorageError::is_transient`])
+    ///   and a [`ChainError::RefundTooEarly`] both map to [`Recovery::Transient`].
+    /// - Content that is definitively gone or tampered with
+    ///   ([`StorageError::NotFound`], [`StorageError::DigestMismatch`]) and
+    ///   artefacts that fail decoding or contradict on-chain records map to
+    ///   [`Recovery::AbortAndRefund`]: the data will not materialise, but
+    ///   escrow can still be reclaimed.
+    /// - Everything else — rejected proofs, missing secrets, authorisation
+    ///   and protocol-state errors — is [`Recovery::Fatal`].
+    pub fn recovery(&self) -> Recovery {
+        match self {
+            ZkdetError::Storage(e) if e.is_transient() => Recovery::Transient,
+            ZkdetError::Storage(StorageError::NotFound(_))
+            | ZkdetError::Storage(StorageError::DigestMismatch(_)) => Recovery::AbortAndRefund,
+            ZkdetError::Storage(_) => Recovery::Fatal,
+            ZkdetError::Chain(ChainError::RefundTooEarly { .. }) => Recovery::Transient,
+            ZkdetError::Chain(_) => Recovery::Fatal,
+            ZkdetError::Codec(_) | ZkdetError::Inconsistent(_) => Recovery::AbortAndRefund,
+            ZkdetError::Plonk(_)
+            | ZkdetError::ProofInvalid(_)
+            | ZkdetError::MissingSecret(_)
+            | ZkdetError::Protocol(_) => Recovery::Fatal,
+        }
+    }
+
+    /// `true` unless the error is [`Recovery::Fatal`].
+    pub fn is_recoverable(&self) -> bool {
+        self.recovery() != Recovery::Fatal
     }
 }
 

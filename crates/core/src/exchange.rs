@@ -15,7 +15,7 @@
 
 use rand::Rng;
 use zkdet_chain::{Address, Event, TokenId, Wei};
-use zkdet_chain::contracts::ListingId;
+use zkdet_chain::contracts::{ListingId, ListingState, REFUND_TIMEOUT_BLOCKS};
 use zkdet_circuits::exchange::{KeyNegotiationCircuit, ValidationCircuit, ValidationPredicate};
 use zkdet_crypto::commitment::{Commitment, CommitmentScheme, Opening};
 use zkdet_crypto::mimc::MimcCtr;
@@ -82,7 +82,31 @@ pub enum ExchangeOutcome {
     Settled,
     /// Buyer reclaimed the escrow after a seller timeout.
     Refunded,
+    /// The exchange settled on-chain but the plaintext could not be
+    /// recovered (artefacts irretrievable or inconsistent after the retry
+    /// budget). Funds are with the seller, the token with the buyer; no
+    /// escrow is wedged.
+    Aborted,
 }
+
+/// Summary of a [`Marketplace::drive_exchange_to_completion`] run.
+#[derive(Clone, Debug)]
+pub struct ExchangeReport {
+    /// Terminal state reached — never a wedged intermediate.
+    pub outcome: ExchangeOutcome,
+    /// Recovered plaintext ([`ExchangeOutcome::Settled`] only).
+    pub data: Option<Dataset>,
+    /// Recovery attempts made against the published `k_c`.
+    pub recover_attempts: u32,
+    /// Blocks mined while waiting on the seller or the refund timeout.
+    pub blocks_waited: u64,
+    /// Why the exchange did not settle, for non-`Settled` outcomes.
+    pub failure: Option<String>,
+}
+
+/// Recovery attempts [`Marketplace::drive_exchange_to_completion`] makes
+/// against a settled listing before declaring the artefacts unrecoverable.
+pub const MAX_RECOVER_ATTEMPTS: u32 = 8;
 
 impl Marketplace {
     /// Seller lists a token in a clock auction. The arbiter (auction
@@ -210,6 +234,17 @@ impl Marketplace {
         let secret = owner
             .secret(seller_listing.token)
             .ok_or(ZkdetError::MissingSecret(seller_listing.token))?;
+        // Idempotency: if an earlier submission already settled this listing
+        // (it may have been confirmed, re-orged and queued for replay), this
+        // resubmission is a no-op success — the journal guarantees no funds
+        // move twice.
+        if self
+            .chain
+            .settlement_height(self.auction_addr, seller_listing.listing)
+            .is_some()
+        {
+            return Ok(());
+        }
         // Honest-seller check mirroring Fig. 4: if the buyer's k_v does not
         // match the h_v they locked, abort before proving.
         let listing = self
@@ -240,7 +275,7 @@ impl Marketplace {
             &seller_listing.key_opening,
         );
         let proof = Plonk::prove(&self.keyneg_pk, &circuit, rng)?;
-        self.chain.auction_settle_key_secure(
+        match self.chain.auction_settle_key_secure(
             self.auction_addr,
             self.nft_addr,
             self.keyneg_verifier_addr,
@@ -248,7 +283,14 @@ impl Marketplace {
             seller_listing.listing,
             k_c,
             &proof,
-        )?;
+        ) {
+            // Resubmission after an earlier settle already landed (e.g. the
+            // seller retried across a re-org): idempotent success.
+            Err(zkdet_chain::ChainError::AlreadySettled { .. }) => return Ok(()),
+            result => {
+                result?;
+            }
+        }
         self.chain.mine_block();
         Ok(())
     }
@@ -320,5 +362,111 @@ impl Marketplace {
         self.chain
             .auction_refund(self.auction_addr, session.buyer, session.listing)?;
         Ok(ExchangeOutcome::Refunded)
+    }
+
+    /// Drives a locked exchange to a terminal state, whatever the
+    /// infrastructure does.
+    ///
+    /// The loop enforces the deadline discipline of §IV-F against the
+    /// simulated chain height:
+    ///
+    /// - once the seller's `k_c` is published, recovery is attempted with
+    ///   transient storage faults retried up to [`MAX_RECOVER_ATTEMPTS`]
+    ///   times (each attempt already retries, hedges and backs off inside
+    ///   [`crate::market::Marketplace::fetch_artefacts`]); unrecoverable
+    ///   artefacts end in [`ExchangeOutcome::Aborted`] — the escrow was
+    ///   already released, nothing is wedged;
+    /// - while unsettled, blocks are mined until either the seller settles
+    ///   or `locked_at + REFUND_TIMEOUT_BLOCKS` passes, at which point the
+    ///   escrow is reclaimed ([`ExchangeOutcome::Refunded`]);
+    /// - [`crate::error::Recovery::Fatal`] errors (proof or protocol
+    ///   violations) propagate as `Err` immediately.
+    pub fn drive_exchange_to_completion(
+        &mut self,
+        buyer: &mut DataOwner,
+        session: &BuyerSession,
+    ) -> Result<ExchangeReport, ZkdetError> {
+        use crate::error::Recovery;
+
+        let mut recover_attempts = 0u32;
+        let mut blocks_waited = 0u64;
+        loop {
+            if self.published_k_c(session.listing).is_some() {
+                recover_attempts += 1;
+                match self.buyer_recover(buyer, session) {
+                    Ok(data) => {
+                        return Ok(ExchangeReport {
+                            outcome: ExchangeOutcome::Settled,
+                            data: Some(data),
+                            recover_attempts,
+                            blocks_waited,
+                            failure: None,
+                        })
+                    }
+                    Err(e) if e.recovery() == Recovery::Transient
+                        && recover_attempts < MAX_RECOVER_ATTEMPTS =>
+                    {
+                        // Storage was flaky, not wrong — let simulated time
+                        // pass and try again.
+                        self.chain.mine_block();
+                        blocks_waited += 1;
+                    }
+                    Err(e) if e.recovery() != Recovery::Fatal => {
+                        // Settled on-chain: the refund path is closed, but
+                        // every party is in a clean terminal state.
+                        return Ok(ExchangeReport {
+                            outcome: ExchangeOutcome::Aborted,
+                            data: None,
+                            recover_attempts,
+                            blocks_waited,
+                            failure: Some(e.to_string()),
+                        });
+                    }
+                    Err(e) => return Err(e),
+                }
+                continue;
+            }
+
+            // Unsettled: wait for the seller or for the refund deadline.
+            let listing = self
+                .chain
+                .auction(&self.auction_addr)?
+                .listing(session.listing)?
+                .clone();
+            let deadline = match &listing.state {
+                ListingState::Locked { locked_at, .. } => {
+                    locked_at + REFUND_TIMEOUT_BLOCKS
+                }
+                state => {
+                    return Err(ZkdetError::Protocol(format!(
+                        "exchange for listing {:?} is neither locked nor settled ({state:?})",
+                        session.listing
+                    )))
+                }
+            };
+            if self.chain.height() >= deadline {
+                match self.buyer_refund(session) {
+                    Ok(outcome) => {
+                        return Ok(ExchangeReport {
+                            outcome,
+                            data: None,
+                            recover_attempts,
+                            blocks_waited,
+                            failure: Some(
+                                "seller missed the settlement deadline".into(),
+                            ),
+                        })
+                    }
+                    Err(e) if e.recovery() == Recovery::Transient => {
+                        self.chain.mine_block();
+                        blocks_waited += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else {
+                self.chain.mine_block();
+                blocks_waited += 1;
+            }
+        }
     }
 }

@@ -208,6 +208,7 @@ impl Marketplace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
@@ -254,7 +255,7 @@ mod tests {
 
     #[test]
     fn cheating_seller_is_caught_by_complaint() {
-        let (mut m, seller, buyer, fs, mut rng) = setup();
+        let (mut m, seller, buyer, fs, rng) = setup();
         let real = data(&[10, 20, 30, 40]);
         // Seller offers the REAL roots but serves a tampered ciphertext…
         // that won't match root_c, so instead: seller commits to a WRONG

@@ -37,6 +37,6 @@ pub mod zkcp;
 
 pub use bundle::{ProofBundle, TransformProof};
 pub use dataset::Dataset;
-pub use error::ZkdetError;
-pub use exchange::{BuyerSession, ExchangeOutcome};
-pub use market::{DataOwner, Marketplace, ProvenanceReport};
+pub use error::{Recovery, ZkdetError};
+pub use exchange::{BuyerSession, ExchangeOutcome, ExchangeReport};
+pub use market::{DataOwner, Marketplace, ProvenanceReport, RobustnessMetrics};

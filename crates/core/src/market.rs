@@ -19,7 +19,7 @@ use zkdet_crypto::mimc::{Ciphertext, MimcCtr};
 use zkdet_field::{Field, Fr};
 use zkdet_kzg::Srs;
 use zkdet_plonk::{Plonk, Proof, ProvingKey, VerifyingKey};
-use zkdet_storage::{PinOwner, StorageNetwork};
+use zkdet_storage::{PinOwner, RetrievalPolicy, RetrievalStats, StorageNetwork};
 
 use crate::bundle::{ProofBundle, TransformProof};
 use crate::codec::{decode_ciphertext, encode_ciphertext};
@@ -75,6 +75,37 @@ pub struct ProvenanceReport {
     pub transform_edges: usize,
 }
 
+/// Cumulative retrieval-robustness counters across every storage fetch a
+/// marketplace performed (audits, recoveries, adversary decryptions…).
+///
+/// Each counter sums the per-retrieval [`RetrievalStats`]; `retrievals`
+/// counts the fetches themselves. A fault-free run shows
+/// `attempts == retrievals` and zeros everywhere else.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RobustnessMetrics {
+    /// Storage fetches performed.
+    pub retrievals: u64,
+    /// Full lookup attempts across all fetches (≥ `retrievals`).
+    pub attempts: u64,
+    /// Redundant replica probes issued after drops, stale records or slow
+    /// replicas.
+    pub hedges: u64,
+    /// Nodes quarantined for serving corrupt bytes.
+    pub quarantined: u64,
+    /// Simulated ticks spent in exponential backoff.
+    pub backoff_ticks: u64,
+}
+
+impl RobustnessMetrics {
+    fn record(&mut self, stats: &RetrievalStats) {
+        self.retrievals += 1;
+        self.attempts += u64::from(stats.attempts);
+        self.hedges += u64::from(stats.hedges);
+        self.quarantined += u64::from(stats.quarantined);
+        self.backoff_ticks += stats.backoff_ticks;
+    }
+}
+
 /// Cache key for preprocessed circuit shapes.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 enum Shape {
@@ -106,6 +137,10 @@ pub struct Marketplace {
     /// Registered processing relations (§IV-D 4): formula name → vk.
     processing_vks: HashMap<String, VerifyingKey>,
     next_owner_seed: u64,
+    /// How hard storage fetches fight infrastructure faults.
+    retrieval_policy: RetrievalPolicy,
+    /// Cumulative retrieval-robustness counters.
+    robustness: RobustnessMetrics,
 }
 
 impl Marketplace {
@@ -146,7 +181,24 @@ impl Marketplace {
             keys: HashMap::new(),
             processing_vks: HashMap::new(),
             next_owner_seed: 1,
+            retrieval_policy: RetrievalPolicy::default(),
+            robustness: RobustnessMetrics::default(),
         })
+    }
+
+    /// Replaces the retrieval policy applied to every storage fetch.
+    pub fn set_retrieval_policy(&mut self, policy: RetrievalPolicy) {
+        self.retrieval_policy = policy;
+    }
+
+    /// The retrieval policy currently in force.
+    pub fn retrieval_policy(&self) -> &RetrievalPolicy {
+        &self.retrieval_policy
+    }
+
+    /// Cumulative robustness counters over every fetch performed so far.
+    pub fn robustness(&self) -> &RobustnessMetrics {
+        &self.robustness
     }
 
     /// Registers a processing relation `f` (public setup data): auditors
@@ -486,7 +538,7 @@ impl Marketplace {
             .get(&source_token)
             .ok_or(ZkdetError::MissingSecret(source_token))?
             .clone();
-        if sizes.iter().sum::<usize>() != src.data.len() || sizes.iter().any(|s| *s == 0) {
+        if sizes.iter().sum::<usize>() != src.data.len() || sizes.contains(&0) {
             return Err(ZkdetError::Protocol(
                 "partition sizes must be non-empty and cover the dataset".into(),
             ));
@@ -552,16 +604,37 @@ impl Marketplace {
     }
 
     /// Fetches a token's public artefacts: `(ciphertext, bundle)`.
-    pub fn fetch_artefacts(&self, token: TokenId) -> Result<(Ciphertext, ProofBundle), ZkdetError> {
+    ///
+    /// Retrieval goes through [`StorageNetwork::retrieve_resilient`] under
+    /// the marketplace's [`RetrievalPolicy`], so transient storage faults
+    /// (drops, slow or crashed replicas, stale records) are retried, hedged
+    /// and backed off before an error surfaces; per-fetch statistics are
+    /// accumulated into [`Marketplace::robustness`].
+    pub fn fetch_artefacts(
+        &mut self,
+        token: TokenId,
+    ) -> Result<(Ciphertext, ProofBundle), ZkdetError> {
         let meta = self.chain.nft(&self.nft_addr)?.token_meta(token)?.clone();
-        let ct_bytes = self.storage.retrieve(&meta.cid)?;
+        let ct_bytes = self.retrieve_tracked(&meta.cid)?;
         let ciphertext = decode_ciphertext(&ct_bytes)?;
         let proof_cid = meta
             .proof_cid
             .ok_or_else(|| ZkdetError::Inconsistent(format!("token {token} has no proof")))?;
-        let bundle_bytes = self.storage.retrieve(&proof_cid)?;
+        let bundle_bytes = self.retrieve_tracked(&proof_cid)?;
         let bundle = ProofBundle::from_bytes(&bundle_bytes)?;
         Ok((ciphertext, bundle))
+    }
+
+    /// One policy-governed retrieval with metrics accumulation.
+    fn retrieve_tracked(
+        &mut self,
+        cid: &zkdet_storage::Cid,
+    ) -> Result<bytes::Bytes, ZkdetError> {
+        let (bytes, stats) = self
+            .storage
+            .retrieve_resilient(cid, &self.retrieval_policy)?;
+        self.robustness.record(&stats);
+        Ok(bytes)
     }
 
     /// Third-party audit (§III-B / Fig. 3): verifies a token's proof of

@@ -1,9 +1,10 @@
 //! Round-trip and adversarial-input tests for the storage codec and every
 //! proof-bundle variant.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use rand::{rngs::StdRng, SeedableRng};
 use zkdet_core::{ProofBundle, TransformProof};
-use zkdet_field::{Field, Fr};
+use zkdet_field::Fr;
 use zkdet_kzg::Srs;
 use zkdet_plonk::{CircuitBuilder, Plonk, Proof};
 
@@ -117,7 +118,6 @@ fn non_canonical_scalar_rejected() {
         pi_t: None,
     };
     let mut bytes = bundle.to_bytes();
-    use zkdet_field::PrimeField;
     // The six scalars of the π_e proof sit after len(8) + 9 points (65 B each).
     let scalar_pos = 8 + 9 * 65;
     let mut modulus_bytes = [0u8; 32];

@@ -94,8 +94,10 @@ mod tests {
     #[test]
     fn closest_known_sorts_by_distance() {
         let key = Cid::from_bytes(b"content");
-        let mut node = DhtNode::default();
-        node.peers = (0..20).map(NodeId::from_seed).collect();
+        let node = DhtNode {
+            peers: (0..20).map(NodeId::from_seed).collect(),
+            ..Default::default()
+        };
         let closest = node.closest_known(&key, 5);
         assert_eq!(closest.len(), 5);
         for w in closest.windows(2) {

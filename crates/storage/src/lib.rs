@@ -15,10 +15,21 @@
 //! nodes and looked up by iterative XOR search, with hop counts exposed for
 //! the curious. Churn (node removal) is supported to exercise replication.
 
+//!
+//! Robustness: a seeded [`FaultPlan`] injects crashes, latency, request
+//! drops, replica corruption, and stale provider records; a
+//! [`RetrievalPolicy`] fights back with bounded retries, exponential
+//! backoff on the simulated clock, hedged replica probes, and quarantine
+//! of nodes caught serving corrupt bytes.
+
 mod cid;
 mod dht;
+mod fault;
 mod network;
+mod policy;
 
 pub use cid::Cid;
 pub use dht::{xor_distance, DhtNode, NodeId, K_REPLICATION};
-pub use network::{PinOwner, StorageError, StorageNetwork};
+pub use fault::{FaultPlan, DEFAULT_LATENCY_TICKS};
+pub use network::{PinOwner, RetrievalStats, StorageError, StorageNetwork};
+pub use policy::RetrievalPolicy;

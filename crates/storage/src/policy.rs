@@ -1,0 +1,86 @@
+//! Retrieval resilience policy: bounded retries, exponential backoff on the
+//! simulated clock, hedged replica probes, and digest-mismatch quarantine.
+//!
+//! The policy is data, the mechanism lives in
+//! [`crate::StorageNetwork::retrieve_resilient`]. Defaults are tuned so a
+//! fault-free network behaves exactly like the un-policied path (a single
+//! attempt succeeds on the first replica, no backoff is taken).
+
+/// Knobs controlling how hard a retrieval fights infrastructure faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetrievalPolicy {
+    /// Upper bound on full lookup attempts (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt, in simulated clock ticks;
+    /// doubles per attempt.
+    pub base_backoff_ticks: u64,
+    /// Ceiling on a single backoff wait.
+    pub max_backoff_ticks: u64,
+    /// A replica answering slower than this many ticks triggers a hedged
+    /// probe of the next-closest replica (the faster answer wins).
+    pub hedge_latency_ticks: u64,
+}
+
+impl Default for RetrievalPolicy {
+    fn default() -> Self {
+        RetrievalPolicy {
+            max_attempts: 4,
+            base_backoff_ticks: 2,
+            max_backoff_ticks: 64,
+            hedge_latency_ticks: 8,
+        }
+    }
+}
+
+impl RetrievalPolicy {
+    /// One attempt, no backoff, no hedging — the legacy behaviour.
+    pub fn single_shot() -> Self {
+        RetrievalPolicy {
+            max_attempts: 1,
+            base_backoff_ticks: 0,
+            max_backoff_ticks: 0,
+            hedge_latency_ticks: u64::MAX,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (0-based: the wait taken
+    /// after attempt 0 fails is `backoff_for(0)`), capped exponential.
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        if self.base_backoff_ticks == 0 {
+            return 0;
+        }
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.base_backoff_ticks
+            .saturating_mul(factor)
+            .min(self.max_backoff_ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetrievalPolicy {
+            max_attempts: 8,
+            base_backoff_ticks: 2,
+            max_backoff_ticks: 16,
+            hedge_latency_ticks: 8,
+        };
+        assert_eq!(p.backoff_for(0), 2);
+        assert_eq!(p.backoff_for(1), 4);
+        assert_eq!(p.backoff_for(2), 8);
+        assert_eq!(p.backoff_for(3), 16);
+        assert_eq!(p.backoff_for(4), 16);
+        assert_eq!(p.backoff_for(63), 16);
+        assert_eq!(p.backoff_for(64), 16);
+    }
+
+    #[test]
+    fn single_shot_never_waits() {
+        let p = RetrievalPolicy::single_shot();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.backoff_for(0), 0);
+    }
+}

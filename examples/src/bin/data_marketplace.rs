@@ -105,5 +105,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("  {total:>9} gas total");
+
+    banner("retrieval robustness counters");
+    let rb = market.robustness();
+    println!(
+        "  {} storage retrievals in {} lookup attempts",
+        rb.retrievals, rb.attempts
+    );
+    println!(
+        "  {} hedged replica probes, {} replicas quarantined, {} ticks in backoff",
+        rb.hedges, rb.quarantined, rb.backoff_ticks
+    );
     Ok(())
 }

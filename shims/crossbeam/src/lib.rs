@@ -1,0 +1,85 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace; since Rust
+//! 1.63 the standard library provides equivalent scoped threads, so the shim
+//! is a thin adapter that keeps crossbeam's call shape
+//! (`scope(|s| ...)` returning `Result`, spawn closures taking a scope
+//! argument).
+
+pub mod thread {
+    /// Result of a scope or a joined thread (the error is the panic payload).
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Scope handle passed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure's argument exists
+        /// only for crossbeam signature compatibility (`|_| ...`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all threads spawned in it are joined before
+    /// `scope` returns. Unlike crossbeam, a panicking un-joined child aborts
+    /// via std's scope rather than surfacing in the `Result` — call sites
+    /// here join explicitly or treat `Err` as fatal anyway.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawns_and_joins() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let mid = data.len() / 2;
+            let (lo, hi) = data.split_at(mid);
+            let h = scope.spawn(move |_| lo.iter().sum::<u64>());
+            let hi_sum = hi.iter().sum::<u64>();
+            h.join().expect("join") + hi_sum
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn unjoined_spawns_complete_before_scope_returns() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+}
