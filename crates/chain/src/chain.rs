@@ -151,6 +151,10 @@ pub enum ChainError {
     /// funds that were just escrowed could not be returned. Indicates a
     /// ledger bug, never normal operation.
     EscrowInvariant(&'static str),
+    /// Raw calldata failed wire-format validation before reaching any
+    /// contract logic (truncated proof, off-curve point, non-canonical
+    /// scalar). Adversarial input — never retried, state untouched.
+    MalformedCalldata(zkdet_curve::WireError),
 }
 
 impl core::fmt::Display for ChainError {
@@ -597,6 +601,39 @@ impl Blockchain {
         self.listing_settlements
             .insert((auction_addr, listing), self.height() + 1);
         Ok(self.finish_tx(meter, events, format!("key-secure settle {listing:?}")))
+    }
+
+    /// Key-secure settlement from **raw calldata**: the proof arrives as
+    /// untrusted bytes exactly as a real chain would receive them.
+    ///
+    /// Decoding happens at the transaction boundary, before any contract
+    /// state is touched: malformed bytes yield
+    /// [`ChainError::MalformedCalldata`] with the listing state, escrow,
+    /// and settlement journal unchanged. Valid-but-false proofs proceed to
+    /// [`Self::auction_settle_key_secure`] and fail there with
+    /// [`ChainError::ProofRejected`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn auction_settle_key_secure_encoded(
+        &mut self,
+        auction_addr: Address,
+        nft_addr: Address,
+        verifier_addr: Address,
+        seller: Address,
+        listing: ListingId,
+        k_c: Fr,
+        proof_bytes: &[u8],
+    ) -> Result<Receipt, ChainError> {
+        let proof =
+            Proof::from_bytes(proof_bytes).map_err(ChainError::MalformedCalldata)?;
+        self.auction_settle_key_secure(
+            auction_addr,
+            nft_addr,
+            verifier_addr,
+            seller,
+            listing,
+            k_c,
+            &proof,
+        )
     }
 
     /// Restores a listing's state after a failed settlement leg.

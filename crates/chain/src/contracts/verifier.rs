@@ -6,6 +6,7 @@
 //! `O(1)`: two pairing-precompile points, a fixed number of scalar
 //! multiplications and additions, plus cheap field work per public input.
 
+use zkdet_curve::WireError;
 use zkdet_field::Fr;
 use zkdet_plonk::{Proof, VerifyingKey};
 
@@ -41,5 +42,24 @@ impl VerifierContract {
         meter.verify_proof(2, 18, 20);
         meter.charge(100 * public_inputs.len() as u64);
         zkdet_plonk::Plonk::verify(&self.vk, public_inputs, proof)
+    }
+
+    /// Verifies a proof submitted as raw calldata bytes — the hostile-wire
+    /// entry point.
+    ///
+    /// Gas is charged **before** decoding, so a malformed proof costs
+    /// exactly what a well-formed-but-rejected one does: an attacker
+    /// cannot probe the validation layer for cheaper-than-verification
+    /// rejections, and replaying garbage calldata burns full price.
+    pub fn verify_encoded(
+        &self,
+        meter: &mut GasMeter,
+        public_inputs: &[Fr],
+        proof_bytes: &[u8],
+    ) -> Result<bool, WireError> {
+        meter.verify_proof(2, 18, 20);
+        meter.charge(100 * public_inputs.len() as u64);
+        let proof = Proof::from_bytes(proof_bytes)?;
+        Ok(zkdet_plonk::Plonk::verify(&self.vk, public_inputs, &proof))
     }
 }

@@ -240,10 +240,10 @@ impl TransformerBlockCircuit {
         let v: Vec<Vec<Fixed>> = s_wires.iter().map(|s| mat_vec_mul(b, &w_v_cols, s)).collect();
         let inv_sqrt = 1.0 / (self.d_k as f64).sqrt();
         let mut outs = Vec::new();
-        for i in 0..self.seq_len {
+        for q_row in q.iter().take(self.seq_len) {
             let mut exps: Vec<Fixed> = Vec::with_capacity(self.seq_len);
-            for j in 0..self.seq_len {
-                let dot = dot_product(b, &q[i], &k[j]);
+            for k_row in k.iter().take(self.seq_len) {
+                let dot = dot_product(b, q_row, k_row);
                 let scaled = dot.mul_const(b, inv_sqrt);
                 exps.push(exp_approx(b, scaled));
             }

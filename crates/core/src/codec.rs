@@ -50,15 +50,16 @@ impl Writer {
         self.buf.extend_from_slice(&x.to_bytes());
     }
 
-    /// Writes a G1 point (1-byte flag + coordinates).
+    /// Writes raw bytes verbatim.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a G1 point in the canonical fixed 65-byte wire encoding
+    /// (flag + x + y, identity zero-padded) so the byte layout of every
+    /// artefact is position-independent of point values.
     pub fn g1(&mut self, p: &G1Affine) {
-        if p.is_identity() {
-            self.u8(0);
-        } else {
-            self.u8(1);
-            self.fq(&p.x);
-            self.fq(&p.y);
-        }
+        self.raw(&p.to_uncompressed());
     }
 
     /// Writes a length-prefixed vector of scalars.
@@ -137,21 +138,12 @@ impl<'a> Reader<'a> {
         Fq::from_bytes(&bytes).ok_or_else(|| ZkdetError::Codec("non-canonical Fq".into()))
     }
 
-    /// Reads a G1 point, checking curve membership.
+    /// Reads a G1 point in the canonical 65-byte wire encoding, with full
+    /// validation (flag, canonical coordinates, curve membership, identity
+    /// padding) delegated to [`G1Affine::from_uncompressed`].
     pub fn g1(&mut self) -> Result<G1Affine, ZkdetError> {
-        match self.u8()? {
-            0 => Ok(G1Affine::identity()),
-            1 => {
-                let x = self.fq()?;
-                let y = self.fq()?;
-                let p = G1Affine::new_unchecked(x, y);
-                if !p.is_on_curve() {
-                    return Err(ZkdetError::Codec("point not on curve".into()));
-                }
-                Ok(p)
-            }
-            f => Err(ZkdetError::Codec(format!("bad point flag {f}"))),
-        }
+        let bytes = self.take(zkdet_curve::G1_UNCOMPRESSED_BYTES)?;
+        G1Affine::from_uncompressed(bytes).map_err(ZkdetError::from)
     }
 
     /// Reads a length-prefixed vector of scalars (capped at 2²⁴ entries).
@@ -181,52 +173,18 @@ pub fn decode_ciphertext(data: &[u8]) -> Result<Ciphertext, ZkdetError> {
     Ok(Ciphertext { nonce, blocks })
 }
 
-/// Encodes a PLONK proof (9 G₁ + 6 F_r).
+/// Encodes a PLONK proof in the canonical fixed-size wire format
+/// ([`Proof::SIZE_BYTES`] = 9 G₁ + 6 F_r).
 pub fn encode_proof(w: &mut Writer, p: &Proof) {
-    for c in [
-        &p.a, &p.b, &p.c, &p.z, &p.t_lo, &p.t_mid, &p.t_hi, &p.w_zeta, &p.w_zeta_omega,
-    ] {
-        w.g1(&c.0);
-    }
-    for e in [
-        &p.a_eval,
-        &p.b_eval,
-        &p.c_eval,
-        &p.sigma1_eval,
-        &p.sigma2_eval,
-        &p.z_omega_eval,
-    ] {
-        w.fr(e);
-    }
+    w.raw(&p.to_bytes());
 }
 
-/// Decodes a PLONK proof.
+/// Decodes a PLONK proof, delegating every structural check (lengths,
+/// flags, canonical coordinates, curve membership) to
+/// [`Proof::from_bytes`].
 pub fn decode_proof(r: &mut Reader<'_>) -> Result<Proof, ZkdetError> {
-    let mut points = [G1Affine::identity(); 9];
-    for p in points.iter_mut() {
-        *p = r.g1()?;
-    }
-    let mut evals = [Fr::ZERO; 6];
-    for e in evals.iter_mut() {
-        *e = r.fr()?;
-    }
-    Ok(Proof {
-        a: KzgCommitment(points[0]),
-        b: KzgCommitment(points[1]),
-        c: KzgCommitment(points[2]),
-        z: KzgCommitment(points[3]),
-        t_lo: KzgCommitment(points[4]),
-        t_mid: KzgCommitment(points[5]),
-        t_hi: KzgCommitment(points[6]),
-        w_zeta: KzgCommitment(points[7]),
-        w_zeta_omega: KzgCommitment(points[8]),
-        a_eval: evals[0],
-        b_eval: evals[1],
-        c_eval: evals[2],
-        sigma1_eval: evals[3],
-        sigma2_eval: evals[4],
-        z_omega_eval: evals[5],
-    })
+    let bytes = r.take(Proof::SIZE_BYTES)?;
+    Proof::from_bytes(bytes).map_err(ZkdetError::from)
 }
 
 /// Compressed proof encoding: 9×33-byte points + 6×32-byte scalars =
@@ -265,8 +223,8 @@ pub fn decode_proof_compressed(data: &[u8]) -> Result<Proof, ZkdetError> {
         let bytes: [u8; 33] = data[33 * i..33 * (i + 1)]
             .try_into()
             .map_err(|_| ZkdetError::Codec("compressed point slice length".into()))?;
-        *p = G1Affine::from_compressed(&bytes)
-            .ok_or_else(|| ZkdetError::Codec(format!("bad compressed point {i}")))?;
+        *p = G1Affine::from_compressed_validated(&bytes)
+            .map_err(|e| ZkdetError::Codec(format!("bad compressed point {i}: {e}")))?;
     }
     let base = 9 * 33;
     let mut evals = [Fr::ZERO; 6];

@@ -2,6 +2,7 @@
 //! recoverable-vs-fatal taxonomy resilient drivers dispatch on.
 
 use zkdet_chain::ChainError;
+use zkdet_curve::WireError;
 use zkdet_plonk::PlonkError;
 use zkdet_storage::StorageError;
 
@@ -44,6 +45,10 @@ pub enum ZkdetError {
     MissingSecret(zkdet_chain::TokenId),
     /// Protocol-state misuse (e.g. settling an unlocked listing).
     Protocol(String),
+    /// An artefact from a counterparty failed wire-format validation
+    /// (off-curve point, non-canonical scalar, wrong length). Adversarial
+    /// by definition — **never** classified transient, never retried.
+    Wire(WireError),
 }
 
 impl core::fmt::Display for ZkdetError {
@@ -57,6 +62,7 @@ impl core::fmt::Display for ZkdetError {
             ZkdetError::Inconsistent(what) => write!(f, "inconsistent artefact: {what}"),
             ZkdetError::MissingSecret(t) => write!(f, "no seller secrets for token {t}"),
             ZkdetError::Protocol(what) => write!(f, "protocol misuse: {what}"),
+            ZkdetError::Wire(e) => write!(f, "hostile wire input: {e}"),
         }
     }
 }
@@ -71,6 +77,10 @@ impl ZkdetError {
     ///   artefacts that fail decoding or contradict on-chain records map to
     ///   [`Recovery::AbortAndRefund`]: the data will not materialise, but
     ///   escrow can still be reclaimed.
+    /// - Malformed wire input ([`ZkdetError::Wire`],
+    ///   [`ChainError::MalformedCalldata`]) maps to
+    ///   [`Recovery::AbortAndRefund`] — it is adversarial, not flaky, so a
+    ///   retry would replay the hostile bytes; aborting preserves escrow.
     /// - Everything else — rejected proofs, missing secrets, authorisation
     ///   and protocol-state errors — is [`Recovery::Fatal`].
     pub fn recovery(&self) -> Recovery {
@@ -80,8 +90,11 @@ impl ZkdetError {
             | ZkdetError::Storage(StorageError::DigestMismatch(_)) => Recovery::AbortAndRefund,
             ZkdetError::Storage(_) => Recovery::Fatal,
             ZkdetError::Chain(ChainError::RefundTooEarly { .. }) => Recovery::Transient,
+            ZkdetError::Chain(ChainError::MalformedCalldata(_)) => Recovery::AbortAndRefund,
             ZkdetError::Chain(_) => Recovery::Fatal,
-            ZkdetError::Codec(_) | ZkdetError::Inconsistent(_) => Recovery::AbortAndRefund,
+            ZkdetError::Codec(_) | ZkdetError::Inconsistent(_) | ZkdetError::Wire(_) => {
+                Recovery::AbortAndRefund
+            }
             ZkdetError::Plonk(_)
             | ZkdetError::ProofInvalid(_)
             | ZkdetError::MissingSecret(_)
@@ -112,5 +125,11 @@ impl From<StorageError> for ZkdetError {
 impl From<PlonkError> for ZkdetError {
     fn from(e: PlonkError) -> Self {
         ZkdetError::Plonk(e)
+    }
+}
+
+impl From<WireError> for ZkdetError {
+    fn from(e: WireError) -> Self {
+        ZkdetError::Wire(e)
     }
 }

@@ -38,5 +38,7 @@ pub mod zkcp;
 pub use bundle::{ProofBundle, TransformProof};
 pub use dataset::Dataset;
 pub use error::{Recovery, ZkdetError};
-pub use exchange::{BuyerSession, ExchangeOutcome, ExchangeReport};
+pub use exchange::{
+    BuyerSession, ExchangeOutcome, ExchangeReport, SellerListing, ValidationPackage,
+};
 pub use market::{DataOwner, Marketplace, ProvenanceReport, RobustnessMetrics};

@@ -40,6 +40,9 @@ pub struct G2;
 
 /// Parses a decimal string into a base-field element (used for the hardcoded
 /// standard generator coordinates; validated by the subgroup-order tests).
+// The inputs are compile-time constant strings; a bad digit is a typo in
+// this file, not a runtime condition.
+#[allow(clippy::expect_used)]
 fn fq_from_dec(s: &str) -> Fq {
     let mut acc = BigInt::zero();
     let ten = BigInt::from_u64(10);
@@ -70,6 +73,8 @@ impl CurveParams for G1 {
 impl CurveParams for G2 {
     type Base = Fq2;
 
+    // ξ = 9 + i is a fixed nonzero constant, so the inverse always exists.
+    #[allow(clippy::expect_used)]
     fn b() -> Fq2 {
         // b' = 3 / ξ with ξ = 9 + i.
         let xi = Fq2::new(Fq::from(9u64), Fq::ONE);
@@ -169,7 +174,7 @@ impl<C: CurveParams> Affine<C> {
     }
 
     /// Converts to Jacobian form.
-    pub fn to_projective(&self) -> Projective<C> {
+    pub fn to_projective(self) -> Projective<C> {
         if self.infinity {
             Projective::identity()
         } else {
@@ -306,11 +311,13 @@ impl<C: CurveParams> Projective<C> {
     }
 
     /// Converts to affine form (single field inversion).
-    pub fn to_affine(&self) -> Affine<C> {
-        if self.is_identity() {
+    pub fn to_affine(self) -> Affine<C> {
+        // `z = 0` is exactly the identity encoding, so the inverse below
+        // always exists; routing through `match` keeps this panic-free even
+        // if an unexpected representation slips in.
+        let Some(z_inv) = self.z.inverse() else {
             return Affine::identity();
-        }
-        let z_inv = self.z.inverse().expect("non-identity point");
+        };
         let z_inv2 = z_inv.square();
         Affine::new_unchecked(self.x * z_inv2, self.y * z_inv2 * z_inv)
     }
@@ -324,14 +331,19 @@ impl<C: CurveParams> Projective<C> {
         for z in &zs {
             prod.push(acc);
             if !z.is_zero() {
-                acc = acc * *z;
+                acc *= *z;
             }
         }
-        let mut inv = acc.inverse().expect("product of non-zero z");
+        // `acc` is a product of non-zero factors (identity points are
+        // skipped), hence invertible; fall back to the per-point path
+        // rather than panicking if that invariant is ever violated.
+        let Some(mut inv) = acc.inverse() else {
+            return points.iter().map(|p| p.to_affine()).collect();
+        };
         for i in (0..zs.len()).rev() {
             if !zs[i].is_zero() {
                 let new = inv * prod[i];
-                inv = inv * zs[i];
+                inv *= zs[i];
                 zs[i] = new;
             }
         }
@@ -599,7 +611,7 @@ mod tests {
 impl G1Affine {
     /// Compressed encoding: 33 bytes — a flag byte (`0` identity, `2`/`3`
     /// for the parity of `y`) followed by the x-coordinate.
-    pub fn to_compressed(&self) -> [u8; 33] {
+    pub fn to_compressed(self) -> [u8; 33] {
         let mut out = [0u8; 33];
         if self.infinity {
             return out;
@@ -613,31 +625,11 @@ impl G1Affine {
     /// Decompresses a 33-byte encoding, checking curve membership.
     ///
     /// Returns `None` for invalid flags, non-canonical x, or x values with
-    /// no corresponding curve point.
+    /// no corresponding curve point. For a typed account of *why* an
+    /// encoding was rejected, use
+    /// [`from_compressed_validated`](Self::from_compressed_validated).
     pub fn from_compressed(bytes: &[u8; 33]) -> Option<G1Affine> {
-        match bytes[0] {
-            0 => {
-                if bytes[1..].iter().all(|b| *b == 0) {
-                    Some(G1Affine::identity())
-                } else {
-                    None
-                }
-            }
-            flag @ (2 | 3) => {
-                let x = Fq::from_bytes(bytes[1..].try_into().expect("32 bytes"))?;
-                // y² = x³ + 3
-                let y2 = x.square() * x + G1::b();
-                let mut y = y2.sqrt()?;
-                let want_odd = flag == 3;
-                if (y.to_canonical()[0] & 1 == 1) != want_odd {
-                    y = -y;
-                }
-                let p = G1Affine::new_unchecked(x, y);
-                debug_assert!(p.is_on_curve());
-                Some(p)
-            }
-            _ => None,
-        }
+        Self::from_compressed_validated(bytes).ok()
     }
 }
 

@@ -75,7 +75,7 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C>
         return Projective::identity();
     }
     let c = window_size(bases.len());
-    let num_windows = (254 + c - 1) / c;
+    let num_windows = 254usize.div_ceil(c);
     let canonical: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical()).collect();
 
     // One thread per window (bounded: ≤ 85 windows, typically ~20).
@@ -84,6 +84,10 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C>
         .map(|n| n.get())
         .unwrap_or(1);
     if threads > 1 && bases.len() >= 256 {
+        // Workers run pure field arithmetic on borrowed slices; a panic
+        // there is a library bug, never an input condition, so joining
+        // with `expect` is the right escalation.
+        #[allow(clippy::expect_used)]
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..num_windows)
                 .map(|w| {
@@ -169,7 +173,7 @@ mod tests {
         let limbs = [u64::MAX; 4];
         let c = 11;
         let mut total_bits = 0;
-        for w in 0..(254 + c - 1) / c {
+        for w in 0..254usize.div_ceil(c) {
             let v = scalar_window(&limbs, w, c);
             total_bits += (v as u64).count_ones();
         }
@@ -185,7 +189,7 @@ pub fn fixed_base_batch_mul<C: CurveParams>(
     scalars: &[Fr],
 ) -> Vec<Projective<C>> {
     const WINDOW: usize = 8;
-    let num_windows = (254 + WINDOW - 1) / WINDOW;
+    let num_windows = 254usize.div_ceil(WINDOW);
     // table[w][d-1] = d · 2^(8w) · base
     let mut table: Vec<Vec<Projective<C>>> = Vec::with_capacity(num_windows);
     let mut win_base = *base;

@@ -92,6 +92,9 @@ struct TwistPoint {
 
 impl TwistPoint {
     /// Tangent line at `self`, then doubles `self`.
+    // Inputs are validated order-r subgroup points, so the slope
+    // denominators below are provably non-zero throughout the loop.
+    #[allow(clippy::expect_used)]
     fn double_step(&mut self, p: &G1Affine) -> Fq12 {
         let lambda = (self.x.square().double() + self.x.square())
             * self.y.double().inverse().expect("order-r point has y ≠ 0");
@@ -104,6 +107,8 @@ impl TwistPoint {
     }
 
     /// Chord line through `self` and `q`, then adds `q` to `self`.
+    // See `double_step`: T = ±Q cannot occur for the BN254 loop length.
+    #[allow(clippy::expect_used)]
     fn add_step(&mut self, q: &TwistPoint, p: &G1Affine) -> Fq12 {
         let lambda = (q.y - self.y)
             * (q.x - self.x)
@@ -163,6 +168,9 @@ pub fn multi_miller_loop(pairs: &[(G1Affine, G2Affine)]) -> Fq12 {
 }
 
 /// Raises a Miller-loop output to `(p¹² - 1)/r`, landing in `G_T`.
+// A Miller-loop output is a product of non-zero line values, hence
+// invertible.
+#[allow(clippy::expect_used)]
 pub fn final_exponentiation(f: &Fq12) -> Fq12 {
     // Easy part: f^((p⁶-1)(p²+1)).
     let f_inv = f.inverse().expect("Miller loop output is non-zero");

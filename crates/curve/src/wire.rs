@@ -1,0 +1,441 @@
+//! Validated wire encodings for group elements crossing a trust boundary.
+//!
+//! Every artefact a counterparty hands us — proofs, verifying keys, SRS
+//! transcripts — ultimately decodes through the functions here. The
+//! invariant they enforce: **a successfully decoded point is a canonical
+//! encoding of an element of the right prime-order group.** Concretely:
+//!
+//! * field coordinates must be canonical (`< p`), so every group element
+//!   has exactly one accepted byte representation;
+//! * non-identity points must satisfy the curve equation;
+//! * G2 points must additionally lie in the order-`r` subgroup (the sextic
+//!   twist has a large cofactor, so on-curve alone is not enough — a rogue
+//!   `τ·G₂` outside the subgroup breaks the pairing soundness argument);
+//! * the identity has a single fixed encoding (flag byte `0`, zero
+//!   padding), so malleating an identity's coordinate bytes is detected;
+//! * inputs must have exactly the expected length — no trailing data.
+//!
+//! G1 has cofactor 1, so on-curve membership already implies subgroup
+//! membership there.
+//!
+//! Failures are reported through the typed [`WireError`] taxonomy rather
+//! than `Option`, so callers (and the protocol-level `Recovery`
+//! classification) can distinguish *malformed hostile input* — which must
+//! abort, never retry — from infrastructure faults.
+
+use zkdet_field::{Field, Fq, Fq2, PrimeField};
+
+use crate::group::{Affine, CurveParams, G1Affine, G2Affine, Projective, G1};
+
+/// Why a wire-format decode was rejected.
+///
+/// Malformed input is an *adversarial* signal, not an infrastructure fault:
+/// protocol drivers must never classify a `WireError` as transient or
+/// retry the operation that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input is not exactly the expected number of bytes (covers both
+    /// truncation and extension — fixed-size formats accept one length).
+    BadLength {
+        /// Bytes the format requires.
+        expected: usize,
+        /// Bytes actually supplied.
+        got: usize,
+    },
+    /// A field element's byte encoding was `>= p` (non-canonical). The
+    /// label names the element that was being decoded.
+    NonCanonical(&'static str),
+    /// An unknown flag byte where a point-encoding tag was expected.
+    InvalidFlag(u8),
+    /// An identity encoding carried non-zero coordinate bytes.
+    NonZeroIdentityPadding,
+    /// Affine coordinates that do not satisfy the curve equation.
+    OffCurve(&'static str),
+    /// An on-curve point outside the order-`r` subgroup (G2 cofactor).
+    NotInSubgroup(&'static str),
+    /// A compressed x-coordinate with no corresponding curve point.
+    NotOnCurveX,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::BadLength { expected, got } => {
+                write!(f, "wire: expected {expected} bytes, got {got}")
+            }
+            WireError::NonCanonical(what) => {
+                write!(f, "wire: non-canonical field encoding in {what}")
+            }
+            WireError::InvalidFlag(b) => write!(f, "wire: invalid point flag byte {b:#04x}"),
+            WireError::NonZeroIdentityPadding => {
+                write!(f, "wire: identity encoding with non-zero padding")
+            }
+            WireError::OffCurve(what) => write!(f, "wire: {what} is not on the curve"),
+            WireError::NotInSubgroup(what) => {
+                write!(f, "wire: {what} is not in the order-r subgroup")
+            }
+            WireError::NotOnCurveX => {
+                write!(f, "wire: compressed x-coordinate has no curve point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Size of an uncompressed G1 wire encoding: flag byte + two `F_p`
+/// coordinates.
+pub const G1_UNCOMPRESSED_BYTES: usize = 1 + 2 * 32;
+
+/// Size of an uncompressed G2 wire encoding: flag byte + two `F_{p²}`
+/// coordinates.
+pub const G2_UNCOMPRESSED_BYTES: usize = 1 + 4 * 32;
+
+/// Scalar multiplication by raw little-endian limbs (the group order `r`
+/// is not representable as an `Fr`, so the subgroup check cannot reuse
+/// `Mul<Fr>`).
+fn mul_limbs<C: CurveParams>(p: &Projective<C>, limbs: &[u64; 4]) -> Projective<C> {
+    let mut acc = Projective::<C>::identity();
+    for limb_idx in (0..4).rev() {
+        for bit in (0..64).rev() {
+            acc = acc.double();
+            if (limbs[limb_idx] >> bit) & 1 == 1 {
+                acc += *p;
+            }
+        }
+    }
+    acc
+}
+
+impl<C: CurveParams> Affine<C> {
+    /// Whether the point lies in the order-`r` subgroup (`r·P = O`).
+    ///
+    /// On G1 (cofactor 1) this is implied by the curve equation; on the G2
+    /// twist the cofactor is large and this check is load-bearing for any
+    /// point received from an untrusted party.
+    pub fn is_in_correct_subgroup(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        mul_limbs(&self.to_projective(), &zkdet_field::Fr::MODULUS).is_identity()
+    }
+}
+
+/// Decodes a canonical `F_p` element, labelling rejections.
+fn fq_checked(bytes: &[u8], what: &'static str) -> Result<Fq, WireError> {
+    let arr: [u8; 32] = bytes.try_into().map_err(|_| WireError::BadLength {
+        expected: 32,
+        got: bytes.len(),
+    })?;
+    Fq::from_bytes(&arr).ok_or(WireError::NonCanonical(what))
+}
+
+impl G1Affine {
+    /// Canonical uncompressed encoding: flag byte (`0` identity, `1`
+    /// otherwise) followed by `x ‖ y` (identity pads with zeros so the
+    /// format is fixed-size).
+    pub fn to_uncompressed(self) -> [u8; G1_UNCOMPRESSED_BYTES] {
+        let mut out = [0u8; G1_UNCOMPRESSED_BYTES];
+        if !self.infinity {
+            out[0] = 1;
+            out[1..33].copy_from_slice(&self.x.to_bytes());
+            out[33..65].copy_from_slice(&self.y.to_bytes());
+        }
+        out
+    }
+
+    /// Decodes an uncompressed G1 point, enforcing canonical coordinates,
+    /// the curve equation, and the fixed identity encoding.
+    pub fn from_uncompressed(bytes: &[u8]) -> Result<G1Affine, WireError> {
+        if bytes.len() != G1_UNCOMPRESSED_BYTES {
+            return Err(WireError::BadLength {
+                expected: G1_UNCOMPRESSED_BYTES,
+                got: bytes.len(),
+            });
+        }
+        match bytes[0] {
+            0 => {
+                if bytes[1..].iter().any(|b| *b != 0) {
+                    return Err(WireError::NonZeroIdentityPadding);
+                }
+                Ok(G1Affine::identity())
+            }
+            1 => {
+                let x = fq_checked(&bytes[1..33], "G1.x")?;
+                let y = fq_checked(&bytes[33..65], "G1.y")?;
+                let p = G1Affine::new_unchecked(x, y);
+                if !p.is_on_curve() {
+                    return Err(WireError::OffCurve("G1 point"));
+                }
+                // Cofactor 1: on-curve already places p in the subgroup.
+                Ok(p)
+            }
+            f => Err(WireError::InvalidFlag(f)),
+        }
+    }
+
+    /// Decodes a 33-byte compressed encoding with a typed rejection for
+    /// every branch: invalid flag bytes, non-zero identity padding,
+    /// non-canonical x, and x values with no curve point.
+    pub fn from_compressed_validated(bytes: &[u8; 33]) -> Result<G1Affine, WireError> {
+        match bytes[0] {
+            0 => {
+                if bytes[1..].iter().any(|b| *b != 0) {
+                    return Err(WireError::NonZeroIdentityPadding);
+                }
+                Ok(G1Affine::identity())
+            }
+            flag @ (2 | 3) => {
+                let x = fq_checked(&bytes[1..], "compressed G1.x")?;
+                // y² = x³ + 3
+                let y2 = x.square() * x + G1::b();
+                let mut y = y2.sqrt().ok_or(WireError::NotOnCurveX)?;
+                let want_odd = flag == 3;
+                if (y.to_canonical()[0] & 1 == 1) != want_odd {
+                    y = -y;
+                }
+                Ok(G1Affine::new_unchecked(x, y))
+            }
+            f => Err(WireError::InvalidFlag(f)),
+        }
+    }
+}
+
+/// Decodes a canonical `F_{p²}` element from `c0 ‖ c1`.
+fn fq2_checked(bytes: &[u8], what: &'static str) -> Result<Fq2, WireError> {
+    if bytes.len() != 64 {
+        return Err(WireError::BadLength {
+            expected: 64,
+            got: bytes.len(),
+        });
+    }
+    let c0 = fq_checked(&bytes[..32], what)?;
+    let c1 = fq_checked(&bytes[32..], what)?;
+    Ok(Fq2::new(c0, c1))
+}
+
+impl G2Affine {
+    /// Canonical uncompressed encoding: flag byte (`0` identity, `1`
+    /// otherwise) followed by `x.c0 ‖ x.c1 ‖ y.c0 ‖ y.c1`.
+    pub fn to_uncompressed(self) -> [u8; G2_UNCOMPRESSED_BYTES] {
+        let mut out = [0u8; G2_UNCOMPRESSED_BYTES];
+        if !self.infinity {
+            out[0] = 1;
+            out[1..33].copy_from_slice(&self.x.c0.to_bytes());
+            out[33..65].copy_from_slice(&self.x.c1.to_bytes());
+            out[65..97].copy_from_slice(&self.y.c0.to_bytes());
+            out[97..129].copy_from_slice(&self.y.c1.to_bytes());
+        }
+        out
+    }
+
+    /// Decodes an uncompressed G2 point, enforcing canonical coordinates,
+    /// the twist equation, **and order-`r` subgroup membership** (the twist
+    /// cofactor is large; an on-curve point outside the subgroup would
+    /// silently break pairing-based checks).
+    pub fn from_uncompressed(bytes: &[u8]) -> Result<G2Affine, WireError> {
+        if bytes.len() != G2_UNCOMPRESSED_BYTES {
+            return Err(WireError::BadLength {
+                expected: G2_UNCOMPRESSED_BYTES,
+                got: bytes.len(),
+            });
+        }
+        match bytes[0] {
+            0 => {
+                if bytes[1..].iter().any(|b| *b != 0) {
+                    return Err(WireError::NonZeroIdentityPadding);
+                }
+                Ok(G2Affine::identity())
+            }
+            1 => {
+                let x = fq2_checked(&bytes[1..65], "G2.x")?;
+                let y = fq2_checked(&bytes[65..129], "G2.y")?;
+                let p = G2Affine::new_unchecked(x, y);
+                if !p.is_on_curve() {
+                    return Err(WireError::OffCurve("G2 point"));
+                }
+                if !p.is_in_correct_subgroup() {
+                    return Err(WireError::NotInSubgroup("G2 point"));
+                }
+                Ok(p)
+            }
+            f => Err(WireError::InvalidFlag(f)),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use crate::group::{G1Projective, G2Projective};
+    use rand::{rngs::StdRng, SeedableRng};
+    use zkdet_field::Fr;
+
+    #[test]
+    fn g1_uncompressed_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(60);
+        for _ in 0..10 {
+            let p = G1Projective::random(&mut rng).to_affine();
+            let enc = p.to_uncompressed();
+            assert_eq!(G1Affine::from_uncompressed(&enc).unwrap(), p);
+        }
+        let id = G1Affine::identity();
+        assert_eq!(
+            G1Affine::from_uncompressed(&id.to_uncompressed()).unwrap(),
+            id
+        );
+    }
+
+    #[test]
+    fn g2_uncompressed_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..5 {
+            let p = G2Projective::random(&mut rng).to_affine();
+            let enc = p.to_uncompressed();
+            assert_eq!(G2Affine::from_uncompressed(&enc).unwrap(), p);
+        }
+        let id = G2Affine::identity();
+        assert_eq!(
+            G2Affine::from_uncompressed(&id.to_uncompressed()).unwrap(),
+            id
+        );
+    }
+
+    #[test]
+    fn g1_rejections_are_typed() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let p = G1Projective::random(&mut rng).to_affine();
+        let enc = p.to_uncompressed();
+
+        // Wrong length.
+        assert!(matches!(
+            G1Affine::from_uncompressed(&enc[..64]),
+            Err(WireError::BadLength { expected: 65, .. })
+        ));
+        // Bad flag.
+        let mut bad = enc;
+        bad[0] = 9;
+        assert_eq!(
+            G1Affine::from_uncompressed(&bad),
+            Err(WireError::InvalidFlag(9))
+        );
+        // Identity with dirty padding.
+        let mut bad = [0u8; G1_UNCOMPRESSED_BYTES];
+        bad[17] = 1;
+        assert_eq!(
+            G1Affine::from_uncompressed(&bad),
+            Err(WireError::NonZeroIdentityPadding)
+        );
+        // Non-canonical x (>= p).
+        let mut bad = enc;
+        bad[1..33].copy_from_slice(&modulus_bytes());
+        assert_eq!(
+            G1Affine::from_uncompressed(&bad),
+            Err(WireError::NonCanonical("G1.x"))
+        );
+        // Off-curve (tweak y).
+        let off = G1Affine::new_unchecked(p.x, p.y + Fq::ONE);
+        let mut bad = enc;
+        bad[33..65].copy_from_slice(&off.y.to_bytes());
+        assert_eq!(
+            G1Affine::from_uncompressed(&bad),
+            Err(WireError::OffCurve("G1 point"))
+        );
+    }
+
+    #[test]
+    fn g2_subgroup_check_rejects_cofactor_points() {
+        // Sample on-curve twist points by x; the cofactor is huge, so a
+        // random on-curve point is (overwhelmingly) outside the r-subgroup.
+        let mut x = Fq2::new(Fq::from(1u64), Fq::from(1u64));
+        let b = {
+            // b' = 3/ξ, recomputed here to avoid exposing internals.
+            let xi = Fq2::new(Fq::from(9u64), Fq::ONE);
+            Fq2::from(3u64) * xi.inverse().unwrap()
+        };
+        let mut found = false;
+        for _ in 0..64 {
+            let y2 = x.square() * x + b;
+            if let Some(y) = y2.sqrt() {
+                let p = G2Affine::new_unchecked(x, y);
+                assert!(p.is_on_curve());
+                if !p.is_in_correct_subgroup() {
+                    let enc = p.to_uncompressed();
+                    assert_eq!(
+                        G2Affine::from_uncompressed(&enc),
+                        Err(WireError::NotInSubgroup("G2 point"))
+                    );
+                    found = true;
+                    break;
+                }
+            }
+            x += Fq2::ONE;
+        }
+        assert!(found, "expected an on-curve point outside the subgroup");
+    }
+
+    #[test]
+    fn subgroup_membership_of_real_points() {
+        let mut rng = StdRng::seed_from_u64(63);
+        assert!(G1Affine::generator().is_in_correct_subgroup());
+        assert!(G2Affine::generator().is_in_correct_subgroup());
+        assert!(G2Affine::identity().is_in_correct_subgroup());
+        let p = (G2Projective::generator() * Fr::random(&mut rng)).to_affine();
+        assert!(p.is_in_correct_subgroup());
+    }
+
+    #[test]
+    fn compressed_validated_rejections() {
+        // Invalid flags (1 is reserved for uncompressed; 4+ undefined).
+        for flag in [1u8, 4, 5, 255] {
+            let mut bytes = [0u8; 33];
+            bytes[0] = flag;
+            assert_eq!(
+                G1Affine::from_compressed_validated(&bytes),
+                Err(WireError::InvalidFlag(flag))
+            );
+        }
+        // Identity flag with non-zero payload.
+        let mut bytes = [0u8; 33];
+        bytes[7] = 3;
+        assert_eq!(
+            G1Affine::from_compressed_validated(&bytes),
+            Err(WireError::NonZeroIdentityPadding)
+        );
+        // Non-canonical x: the modulus itself, and all-0xff.
+        for payload in [modulus_bytes(), [0xffu8; 32]] {
+            let mut bytes = [0u8; 33];
+            bytes[0] = 2;
+            bytes[1..].copy_from_slice(&payload);
+            assert_eq!(
+                G1Affine::from_compressed_validated(&bytes),
+                Err(WireError::NonCanonical("compressed G1.x"))
+            );
+        }
+        // x with no curve point.
+        let mut x = Fq::from(5u64);
+        loop {
+            let y2 = x.square() * x + Fq::from(3u64);
+            if y2.legendre() == -1 {
+                break;
+            }
+            x += Fq::ONE;
+        }
+        let mut bytes = [0u8; 33];
+        bytes[0] = 2;
+        bytes[1..].copy_from_slice(&x.to_bytes());
+        assert_eq!(
+            G1Affine::from_compressed_validated(&bytes),
+            Err(WireError::NotOnCurveX)
+        );
+    }
+
+    fn modulus_bytes() -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, l) in Fq::MODULUS.iter().enumerate() {
+            out[8 * i..8 * i + 8].copy_from_slice(&l.to_le_bytes());
+        }
+        out
+    }
+}

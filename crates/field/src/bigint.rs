@@ -71,12 +71,12 @@ pub fn shr(a: &Limbs, n: u32) -> Limbs {
     let mut out = [0u64; 4];
     let limb_shift = (n / 64) as usize;
     let bit_shift = n % 64;
-    for i in 0..4 {
+    for (i, out_limb) in out.iter_mut().enumerate() {
         let src = i + limb_shift;
         if src < 4 {
-            out[i] = a[src] >> bit_shift;
+            *out_limb = a[src] >> bit_shift;
             if bit_shift > 0 && src + 1 < 4 {
-                out[i] |= a[src + 1] << (64 - bit_shift);
+                *out_limb |= a[src + 1] << (64 - bit_shift);
             }
         }
     }

@@ -8,7 +8,7 @@ use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{Field, Fq};
+use crate::{Field, Fq, PrimeField};
 
 /// An element `c0 + c1·i` of `F_{p²}` with `i² = -1`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash, Serialize, Deserialize)]
@@ -73,6 +73,52 @@ impl Fq2 {
     /// Norm map to the base field: `c0² + c1²`.
     pub fn norm(&self) -> Fq {
         self.c0.square() + self.c1.square()
+    }
+
+    /// Square root, if one exists.
+    ///
+    /// Uses the norm-descent algorithm valid for `p ≡ 3 (mod 4)`; the
+    /// candidate is verified by squaring, so `Some(r)` always satisfies
+    /// `r² == self`.
+    pub fn sqrt(&self) -> Option<Self> {
+        if self.is_zero() {
+            return Some(Self::ZERO);
+        }
+        let candidate = if self.c1.is_zero() {
+            // Purely real: either √c0, or √(-c0)·i since i² = -1.
+            match self.c0.sqrt() {
+                Some(r) => Fq2::new(r, Fq::ZERO),
+                None => Fq2::new(Fq::ZERO, (-self.c0).sqrt()?),
+            }
+        } else {
+            let alpha = self.norm().sqrt()?;
+            let two_inv = Fq::from(2u64).inverse()?;
+            let mut delta = (self.c0 + alpha) * two_inv;
+            if delta.legendre() == -1 {
+                delta = (self.c0 - alpha) * two_inv;
+            }
+            let x0 = delta.sqrt()?;
+            let x1 = self.c1 * x0.double().inverse()?;
+            Fq2::new(x0, x1)
+        };
+        (candidate.square() == *self).then_some(candidate)
+    }
+
+    /// Canonical 64-byte encoding `c0 ‖ c1` (each little-endian).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.c0.to_bytes());
+        out[32..].copy_from_slice(&self.c1.to_bytes());
+        out
+    }
+
+    /// Decodes `c0 ‖ c1`, rejecting non-canonical coefficients (`>= p`).
+    pub fn from_bytes(bytes: &[u8; 64]) -> Option<Self> {
+        let mut c0 = [0u8; 32];
+        let mut c1 = [0u8; 32];
+        c0.copy_from_slice(&bytes[..32]);
+        c1.copy_from_slice(&bytes[32..]);
+        Some(Fq2::new(Fq::from_bytes(&c0)?, Fq::from_bytes(&c1)?))
     }
 }
 
@@ -237,6 +283,44 @@ mod tests {
             let a = Fq2::random(&mut rng);
             assert_eq!(a.mul_by_nonresidue(), a * xi);
         }
+    }
+
+    #[test]
+    fn sqrt_of_squares_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let a = Fq2::random(&mut rng);
+            let r = a.square().sqrt().expect("square has a root");
+            assert!(r == a || r == -a);
+        }
+        // Purely real and purely imaginary cases.
+        let real = Fq2::from_base(Fq::from(49u64));
+        assert!(real.sqrt().is_some());
+        let imag = Fq2::new(Fq::ZERO, Fq::from(5u64));
+        if let Some(r) = imag.sqrt() {
+            assert_eq!(r.square(), imag);
+        }
+        assert_eq!(Fq2::ZERO.sqrt(), Some(Fq2::ZERO));
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_reject_noncanonical() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10 {
+            let a = Fq2::random(&mut rng);
+            assert_eq!(Fq2::from_bytes(&a.to_bytes()), Some(a));
+        }
+        // The modulus itself is non-canonical in either coefficient.
+        let mut p_bytes = [0u8; 32];
+        for (i, l) in Fq::MODULUS.iter().enumerate() {
+            p_bytes[8 * i..8 * i + 8].copy_from_slice(&l.to_le_bytes());
+        }
+        let mut bad = [0u8; 64];
+        bad[..32].copy_from_slice(&p_bytes);
+        assert_eq!(Fq2::from_bytes(&bad), None);
+        let mut bad = [0u8; 64];
+        bad[32..].copy_from_slice(&p_bytes);
+        assert_eq!(Fq2::from_bytes(&bad), None);
     }
 
     #[test]

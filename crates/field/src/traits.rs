@@ -121,7 +121,7 @@ pub trait PrimeField: Field + From<u64> + Ord {
             }
         }
         let mut inv = acc.inverse().expect("product of non-zero elements");
-        for (e, p) in elems.iter_mut().zip(prod.into_iter()).rev() {
+        for (e, p) in elems.iter_mut().zip(prod).rev() {
             if !e.is_zero() {
                 let new = inv * p;
                 inv *= *e;

@@ -30,9 +30,50 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use zkdet_curve::{
     fixed_base_batch_mul, msm, multi_pairing, G1Affine, G1Projective, G2Affine, G2Projective,
+    WireError, G1_UNCOMPRESSED_BYTES, G2_UNCOMPRESSED_BYTES,
 };
 use zkdet_field::{Field, Fq12, Fr};
 use zkdet_poly::DensePolynomial;
+
+/// Typed failures of KZG operations on possibly-hostile inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KzgError {
+    /// A polynomial exceeds the SRS's committable degree.
+    DegreeTooLarge {
+        /// Degree of the polynomial being committed.
+        degree: usize,
+        /// Maximum degree the SRS supports.
+        max: usize,
+    },
+    /// The SRS has no G1 powers at all.
+    EmptySrs,
+    /// A point or field element failed wire-format validation.
+    Wire(WireError),
+    /// The SRS is well-formed as bytes but structurally inconsistent
+    /// (wrong generator, powers not a τ-geometric sequence, …).
+    InvalidStructure(&'static str),
+}
+
+impl core::fmt::Display for KzgError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KzgError::DegreeTooLarge { degree, max } => {
+                write!(f, "polynomial degree {degree} exceeds SRS degree {max}")
+            }
+            KzgError::EmptySrs => write!(f, "SRS has no G1 powers"),
+            KzgError::Wire(e) => write!(f, "SRS wire format: {e}"),
+            KzgError::InvalidStructure(what) => write!(f, "SRS inconsistent: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KzgError {}
+
+impl From<WireError> for KzgError {
+    fn from(e: WireError) -> Self {
+        KzgError::Wire(e)
+    }
+}
 
 /// A KZG commitment — a single G1 point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -77,27 +118,43 @@ impl Srs {
     }
 
     /// The maximum committable polynomial degree.
+    ///
+    /// An SRS with no powers at all (only constructible by deserializing
+    /// hostile bytes) reports degree 0; [`Srs::validate`] rejects it.
     pub fn max_degree(&self) -> usize {
-        self.powers_g1.len() - 1
+        self.powers_g1.len().saturating_sub(1)
     }
 
     /// Commits to a polynomial: `C = p(τ)·G₁` via MSM over the SRS powers.
     ///
     /// # Panics
     ///
-    /// Panics if `p.degree() > self.max_degree()`.
+    /// Panics if `p.degree() > self.max_degree()`. Use
+    /// [`Srs::try_commit`] where the degree is not statically guaranteed.
+    // Panicking convenience wrapper for trusted, degree-checked callers;
+    // untrusted paths go through `try_commit`.
+    #[allow(clippy::panic)]
     pub fn commit(&self, p: &DensePolynomial) -> KzgCommitment {
-        assert!(
-            p.coefficients().len() <= self.powers_g1.len(),
-            "polynomial degree {} exceeds SRS degree {}",
-            p.degree(),
-            self.max_degree()
-        );
+        match self.try_commit(p) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Commits to a polynomial, reporting degree overflow as a typed error
+    /// instead of panicking.
+    pub fn try_commit(&self, p: &DensePolynomial) -> Result<KzgCommitment, KzgError> {
         if p.is_zero() {
-            return KzgCommitment(G1Affine::identity());
+            return Ok(KzgCommitment(G1Affine::identity()));
+        }
+        if p.coefficients().len() > self.powers_g1.len() {
+            return Err(KzgError::DegreeTooLarge {
+                degree: p.degree(),
+                max: self.max_degree(),
+            });
         }
         let bases = &self.powers_g1[..p.coefficients().len()];
-        KzgCommitment(msm(bases, p.coefficients()).to_affine())
+        Ok(KzgCommitment(msm(bases, p.coefficients()).to_affine()))
     }
 
     /// Opens `p` at `z`: returns `(p(z), W)` with `W = [(p(X)-p(z))/(X-z)]₁`.
@@ -117,6 +174,9 @@ impl Srs {
 
     /// Batch-verifies openings of several commitments at a shared point,
     /// folding with the random factor `r` (one multi-pairing total).
+    ///
+    /// Mismatched slice lengths are a malformed claim, not a caller bug —
+    /// the batch simply does not verify.
     pub fn batch_verify_same_point(
         &self,
         commitments: &[KzgCommitment],
@@ -125,8 +185,9 @@ impl Srs {
         proofs: &[KzgProof],
         r: Fr,
     ) -> bool {
-        assert_eq!(commitments.len(), values.len());
-        assert_eq!(commitments.len(), proofs.len());
+        if commitments.len() != values.len() || commitments.len() != proofs.len() {
+            return false;
+        }
         let mut acc_c = G1Projective::identity();
         let mut acc_y = Fr::ZERO;
         let mut acc_w = G1Projective::identity();
@@ -146,6 +207,7 @@ impl Srs {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
@@ -251,10 +313,233 @@ mod tests {
         let _ = srs.commit(&p); // exactly max degree is fine
         let too_big = DensePolynomial::random(5, &mut rng);
         assert!(std::panic::catch_unwind(|| srs.commit(&too_big)).is_err());
+        assert_eq!(
+            srs.try_commit(&too_big),
+            Err(KzgError::DegreeTooLarge { degree: 5, max: 4 })
+        );
+    }
+
+    #[test]
+    fn batch_verify_rejects_length_mismatch_without_panicking() {
+        let (srs, mut rng) = setup(8);
+        let p = DensePolynomial::random(4, &mut rng);
+        let c = srs.commit(&p);
+        let z = Fr::random(&mut rng);
+        let (y, w) = srs.open(&p, &z);
+        assert!(!srs.batch_verify_same_point(&[c], &z, &[y, y], &[w], Fr::ONE));
+        assert!(!srs.batch_verify_same_point(&[c], &z, &[y], &[], Fr::ONE));
+    }
+
+    #[test]
+    fn srs_wire_roundtrip_and_validate() {
+        let (srs, mut rng) = setup(6);
+        let bytes = srs.to_bytes();
+        let back = Srs::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.powers_g1, srs.powers_g1);
+        assert_eq!(back.g2, srs.g2);
+        assert_eq!(back.tau_g2, srs.tau_g2);
+        back.validate(Fr::random(&mut rng)).expect("honest SRS validates");
+    }
+
+    #[test]
+    fn srs_from_bytes_rejects_hostile_input() {
+        let (srs, _) = setup(4);
+        let bytes = srs.to_bytes();
+
+        // Truncation / extension.
+        assert!(Srs::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(Srs::from_bytes(&extended).is_err());
+        assert!(Srs::from_bytes(&[]).is_err());
+
+        // Absurd count must fail cleanly, not OOM.
+        let mut huge = bytes.clone();
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Srs::from_bytes(&huge).is_err());
+
+        // Zero powers.
+        let mut empty = Srs {
+            powers_g1: vec![],
+            g2: srs.g2,
+            tau_g2: srs.tau_g2,
+        }
+        .to_bytes();
+        assert!(matches!(Srs::from_bytes(&empty), Err(KzgError::EmptySrs)));
+        empty.clear();
+
+        // Off-curve power: corrupt a y-coordinate byte of powers_g1[1].
+        let mut off_curve = bytes.clone();
+        let y_off = 8 + G1_UNCOMPRESSED_BYTES + 40;
+        off_curve[y_off] ^= 1;
+        assert!(matches!(
+            Srs::from_bytes(&off_curve),
+            Err(KzgError::Wire(
+                WireError::OffCurve(_) | WireError::NonCanonical(_)
+            ))
+        ));
+    }
+
+    #[test]
+    fn srs_validate_rejects_substitution() {
+        let (srs, mut rng) = setup(6);
+        let r = Fr::random(&mut rng);
+
+        // Swapped τ·G₂ (breaks the geometric-sequence pairing check).
+        let mut bad = srs.clone();
+        bad.tau_g2 = (G2Projective::generator() * Fr::from(123u64)).to_affine();
+        assert!(matches!(
+            bad.validate(r),
+            Err(KzgError::InvalidStructure(_))
+        ));
+
+        // A tampered middle power.
+        let mut bad = srs.clone();
+        bad.powers_g1[3] = (G1Projective::generator() * Fr::from(7u64)).to_affine();
+        assert!(matches!(
+            bad.validate(r),
+            Err(KzgError::InvalidStructure(_))
+        ));
+
+        // Identity smuggled in as a power.
+        let mut bad = srs.clone();
+        bad.powers_g1[2] = G1Affine::identity();
+        assert_eq!(
+            bad.validate(r),
+            Err(KzgError::InvalidStructure("identity among G1 powers"))
+        );
+
+        // Wrong first power.
+        let mut bad = srs;
+        bad.powers_g1[0] = (G1Projective::generator() * Fr::from(2u64)).to_affine();
+        assert_eq!(
+            bad.validate(r),
+            Err(KzgError::InvalidStructure(
+                "powers_g1[0] is not the generator"
+            ))
+        );
     }
 }
 
 impl Srs {
+    /// Canonical wire encoding: `len(powers_g1)` as a little-endian `u64`,
+    /// each G1 power uncompressed (65 bytes), then `g2` and `τ·G₂`
+    /// uncompressed (129 bytes each).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            8 + self.powers_g1.len() * G1_UNCOMPRESSED_BYTES + 2 * G2_UNCOMPRESSED_BYTES,
+        );
+        out.extend_from_slice(&(self.powers_g1.len() as u64).to_le_bytes());
+        for p in &self.powers_g1 {
+            out.extend_from_slice(&p.to_uncompressed());
+        }
+        out.extend_from_slice(&self.g2.to_uncompressed());
+        out.extend_from_slice(&self.tau_g2.to_uncompressed());
+        out
+    }
+
+    /// Decodes an SRS received over a trust boundary.
+    ///
+    /// Every G1 power is checked on-curve, `g2`/`τ·G₂` additionally for
+    /// order-`r` subgroup membership, all coordinates for canonical
+    /// encoding, and the input for exact length (no trailing bytes). This
+    /// is *format* validation; consistency of the powers as a τ-geometric
+    /// sequence is checked separately by [`Srs::validate`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Srs, KzgError> {
+        if bytes.len() < 8 {
+            return Err(KzgError::Wire(WireError::BadLength {
+                expected: 8,
+                got: bytes.len(),
+            }));
+        }
+        let mut len8 = [0u8; 8];
+        len8.copy_from_slice(&bytes[..8]);
+        let count = u64::from_le_bytes(len8);
+        // Reject absurd counts before attempting allocation (a hostile
+        // 2⁶⁴ count must not trigger an OOM abort).
+        let count: usize = usize::try_from(count)
+            .ok()
+            .filter(|c| {
+                c.checked_mul(G1_UNCOMPRESSED_BYTES)
+                    .and_then(|g1| g1.checked_add(8 + 2 * G2_UNCOMPRESSED_BYTES))
+                    == Some(bytes.len())
+            })
+            .ok_or(KzgError::Wire(WireError::BadLength {
+                expected: 8 + 2 * G2_UNCOMPRESSED_BYTES,
+                got: bytes.len(),
+            }))?;
+        if count == 0 {
+            return Err(KzgError::EmptySrs);
+        }
+        let mut powers_g1 = Vec::with_capacity(count);
+        let mut off = 8;
+        for _ in 0..count {
+            powers_g1.push(G1Affine::from_uncompressed(
+                &bytes[off..off + G1_UNCOMPRESSED_BYTES],
+            )?);
+            off += G1_UNCOMPRESSED_BYTES;
+        }
+        let g2 = G2Affine::from_uncompressed(&bytes[off..off + G2_UNCOMPRESSED_BYTES])?;
+        off += G2_UNCOMPRESSED_BYTES;
+        let tau_g2 = G2Affine::from_uncompressed(&bytes[off..off + G2_UNCOMPRESSED_BYTES])?;
+        Ok(Srs {
+            powers_g1,
+            g2,
+            tau_g2,
+        })
+    }
+
+    /// Structural validation of a (format-valid) SRS against hostile
+    /// substitution: the first power must be the G1 generator, `g2` the G2
+    /// generator, no power may be the identity, and the powers must form a
+    /// τ-geometric sequence consistent with `τ·G₂` — checked with one
+    /// batched pairing equation folded by the caller-supplied random
+    /// factor `r` (`e(Σ rⁱ·P_{i+1}, G₂) = e(Σ rⁱ·P_i, τ·G₂)`).
+    ///
+    /// `r` must be sampled freshly by the verifier; a hostile party who can
+    /// predict `r` can craft a sequence passing the folded check.
+    pub fn validate(&self, r: Fr) -> Result<(), KzgError> {
+        if self.powers_g1.is_empty() {
+            return Err(KzgError::EmptySrs);
+        }
+        if self.powers_g1[0] != G1Affine::generator() {
+            return Err(KzgError::InvalidStructure("powers_g1[0] is not the generator"));
+        }
+        if self.g2 != G2Affine::generator() {
+            return Err(KzgError::InvalidStructure("g2 is not the generator"));
+        }
+        if self.tau_g2.is_identity() {
+            return Err(KzgError::InvalidStructure("τ·G₂ is the identity"));
+        }
+        if self.powers_g1.iter().any(G1Affine::is_identity) {
+            return Err(KzgError::InvalidStructure("identity among G1 powers"));
+        }
+        if self.powers_g1.len() == 1 {
+            return Ok(());
+        }
+        let n = self.powers_g1.len() - 1;
+        let mut folds = Vec::with_capacity(n);
+        let mut pow = Fr::ONE;
+        for _ in 0..n {
+            folds.push(pow);
+            pow *= r;
+        }
+        let hi = msm(&self.powers_g1[1..], &folds).to_affine();
+        let lo = msm(&self.powers_g1[..n], &folds).to_affine();
+        // e(hi, G₂) · e(-lo, τ·G₂) = 1  ⟺  hi = τ·lo in the exponent.
+        let ok = multi_pairing(&[
+            (hi, self.g2),
+            ((-lo.to_projective()).to_affine(), self.tau_g2),
+        ]) == Fq12::ONE;
+        if ok {
+            Ok(())
+        } else {
+            Err(KzgError::InvalidStructure(
+                "G1 powers are not a τ-geometric sequence",
+            ))
+        }
+    }
+
     /// A trimmed copy supporting polynomials up to `max_degree` — lets one
     /// large universal setup serve many smaller relations without
     /// regeneration (the universality property of §VI-B1).

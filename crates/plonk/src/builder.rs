@@ -345,6 +345,9 @@ impl CircuitBuilder {
     /// # Panics
     ///
     /// Debug-panics if `x` is zero in the witness.
+    // Panicking on a zero witness is the documented contract of this
+    // gadget: the caller is the circuit author, not an untrusted party.
+    #[allow(clippy::expect_used)]
     pub fn inverse(&mut self, x: Variable) -> Variable {
         let inv_val = self
             .value(x)
@@ -367,10 +370,11 @@ impl CircuitBuilder {
     /// Boolean `x == 0` test: returns a bit `b` with `b = 1 ⟺ x = 0`.
     pub fn is_zero(&mut self, x: Variable) -> Variable {
         let x_val = self.value(x);
-        let (b_val, inv_val) = if x_val.is_zero() {
-            (Fr::ONE, Fr::ZERO)
-        } else {
-            (Fr::ZERO, x_val.inverse().expect("non-zero"))
+        // `inverse()` is `None` exactly when `x = 0`, which is the branch
+        // condition itself — no panic path.
+        let (b_val, inv_val) = match x_val.inverse() {
+            None => (Fr::ONE, Fr::ZERO),
+            Some(inv) => (Fr::ZERO, inv),
         };
         let b = self.alloc(b_val);
         let inv = self.alloc(inv_val);
@@ -410,16 +414,12 @@ impl CircuitBuilder {
         if e == 0 {
             return self.constant(Fr::ONE);
         }
-        let mut acc: Option<Variable> = None;
-        for i in (0..64 - e.leading_zeros()).rev() {
-            if let Some(a) = acc {
-                let sq = self.mul(a, a);
-                acc = Some(if (e >> i) & 1 == 1 { self.mul(sq, x) } else { sq });
-            } else {
-                acc = Some(x); // top bit
-            }
+        let mut acc = x; // top bit (e > 0 after the early return)
+        for i in (0..63 - e.leading_zeros()).rev() {
+            let sq = self.mul(acc, acc);
+            acc = if (e >> i) & 1 == 1 { self.mul(sq, x) } else { sq };
         }
-        acc.expect("e > 0")
+        acc
     }
 
     fn find(&mut self, mut i: usize) -> usize {

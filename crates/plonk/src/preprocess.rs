@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use zkdet_curve::G2Affine;
+use zkdet_curve::{G1Affine, G2Affine, WireError, G1_UNCOMPRESSED_BYTES, G2_UNCOMPRESSED_BYTES};
 use zkdet_field::{Field, Fr};
 use zkdet_kzg::{KzgCommitment, Srs};
 use zkdet_poly::{DensePolynomial, EvaluationDomain};
@@ -15,7 +15,7 @@ use zkdet_poly::{DensePolynomial, EvaluationDomain};
 use crate::builder::CompiledCircuit;
 use crate::{coset_k1, coset_k2};
 
-/// Errors produced by preprocessing and proving.
+/// Errors produced by preprocessing, proving, and key validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlonkError {
     /// The circuit needs a larger SRS than provided.
@@ -29,6 +29,14 @@ pub enum PlonkError {
     CircuitTooLarge,
     /// The embedded witness does not satisfy the circuit.
     UnsatisfiedWitness,
+    /// A verifying key failed structural validation (hostile or corrupt).
+    MalformedKey(&'static str),
+    /// A wire-format decode failed while loading a key.
+    Wire(WireError),
+    /// An internal invariant failed (worker panic, non-invertible
+    /// challenge); never caused by proof content, indicates a bug or a
+    /// poisoned thread pool.
+    Internal(&'static str),
 }
 
 impl core::fmt::Display for PlonkError {
@@ -43,11 +51,20 @@ impl core::fmt::Display for PlonkError {
             ),
             PlonkError::CircuitTooLarge => write!(f, "circuit exceeds the 2-adic FFT bound"),
             PlonkError::UnsatisfiedWitness => write!(f, "witness does not satisfy the circuit"),
+            PlonkError::MalformedKey(what) => write!(f, "malformed verifying key: {what}"),
+            PlonkError::Wire(e) => write!(f, "key wire format: {e}"),
+            PlonkError::Internal(what) => write!(f, "internal prover failure: {what}"),
         }
     }
 }
 
 impl std::error::Error for PlonkError {}
+
+impl From<WireError> for PlonkError {
+    fn from(e: WireError) -> Self {
+        PlonkError::Wire(e)
+    }
+}
 
 /// The verifying key: commitments to the circuit polynomials plus domain
 /// metadata. Constant-size (independent of the circuit, except `ℓ`).
@@ -74,8 +91,129 @@ pub struct VerifyingKey {
 
 impl VerifyingKey {
     /// The evaluation domain implied by `n`.
-    pub fn domain(&self) -> EvaluationDomain {
-        EvaluationDomain::new(self.n).expect("vk domain was validated at preprocessing")
+    ///
+    /// Returns `None` when `n` is not an exact power of two within the
+    /// field's 2-adic FFT bound — which can only happen for a hostile or
+    /// corrupt key, since preprocessing always produces a padded power of
+    /// two. (`EvaluationDomain::new` rounds *up*; accepting a rounded
+    /// domain here would silently verify against a different `n` than the
+    /// transcript absorbed.)
+    pub fn domain(&self) -> Option<EvaluationDomain> {
+        let domain = EvaluationDomain::new(self.n)?;
+        (domain.size() == self.n).then_some(domain)
+    }
+
+    /// The verifying key's G₁ commitments, in wire order.
+    fn g1_commitments(&self) -> [&KzgCommitment; 8] {
+        [
+            &self.q_l,
+            &self.q_r,
+            &self.q_o,
+            &self.q_m,
+            &self.q_c,
+            &self.sigma1,
+            &self.sigma2,
+            &self.sigma3,
+        ]
+    }
+
+    /// Structural validation for keys received over a trust boundary
+    /// (including serde-deserialized ones, whose points are *not* checked
+    /// on construction): `n` must be a domain-compatible power of two,
+    /// `ℓ ≤ n`, every commitment on-curve, and `g2`/`τ·G₂` on-curve and in
+    /// the order-`r` subgroup with `τ·G₂ ≠ O`.
+    pub fn validate(&self) -> Result<(), PlonkError> {
+        if self.domain().is_none() {
+            return Err(PlonkError::MalformedKey(
+                "n is not a power of two within the FFT bound",
+            ));
+        }
+        if self.num_public_inputs > self.n {
+            return Err(PlonkError::MalformedKey("more public inputs than rows"));
+        }
+        if self.g1_commitments().iter().any(|c| !c.0.is_on_curve()) {
+            return Err(PlonkError::MalformedKey("commitment off-curve"));
+        }
+        for (label, p) in [("g2", &self.g2), ("tau_g2", &self.tau_g2)] {
+            if !p.is_on_curve() || !p.is_in_correct_subgroup() {
+                return Err(PlonkError::MalformedKey(match label {
+                    "g2" => "g2 outside the group",
+                    _ => "tau_g2 outside the group",
+                }));
+            }
+        }
+        if self.g2.is_identity() || self.tau_g2.is_identity() {
+            return Err(PlonkError::MalformedKey("identity G2 element"));
+        }
+        Ok(())
+    }
+
+    /// Serialized size in bytes: two `u64` headers, 8 G₁ commitments, and
+    /// the 2 G₂ SRS elements.
+    pub const SIZE_BYTES: usize = 16 + 8 * G1_UNCOMPRESSED_BYTES + 2 * G2_UNCOMPRESSED_BYTES;
+
+    /// Canonical wire encoding: `n` and `ℓ` as little-endian `u64`s, the 8
+    /// commitments uncompressed, then `g2` and `τ·G₂` uncompressed.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::SIZE_BYTES);
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        out.extend_from_slice(&(self.num_public_inputs as u64).to_le_bytes());
+        for c in self.g1_commitments() {
+            out.extend_from_slice(&c.0.to_uncompressed());
+        }
+        out.extend_from_slice(&self.g2.to_uncompressed());
+        out.extend_from_slice(&self.tau_g2.to_uncompressed());
+        out
+    }
+
+    /// Decodes and fully validates a verifying key received over a trust
+    /// boundary: exact length, canonical point encodings, and the
+    /// structural checks of [`VerifyingKey::validate`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<VerifyingKey, PlonkError> {
+        if bytes.len() != Self::SIZE_BYTES {
+            return Err(PlonkError::Wire(WireError::BadLength {
+                expected: Self::SIZE_BYTES,
+                got: bytes.len(),
+            }));
+        }
+        let u64_at = |off: usize| -> u64 {
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(&bytes[off..off + 8]);
+            u64::from_le_bytes(arr)
+        };
+        let n = u64_at(0);
+        let ell = u64_at(8);
+        let n = usize::try_from(n)
+            .map_err(|_| PlonkError::MalformedKey("n overflows usize"))?;
+        let ell = usize::try_from(ell)
+            .map_err(|_| PlonkError::MalformedKey("ℓ overflows usize"))?;
+        let mut off = 16;
+        let mut points = [G1Affine::identity(); 8];
+        for p in points.iter_mut() {
+            *p = G1Affine::from_uncompressed(&bytes[off..off + G1_UNCOMPRESSED_BYTES])?;
+            off += G1_UNCOMPRESSED_BYTES;
+        }
+        let g2 = G2Affine::from_uncompressed(&bytes[off..off + G2_UNCOMPRESSED_BYTES])?;
+        off += G2_UNCOMPRESSED_BYTES;
+        let tau_g2 = G2Affine::from_uncompressed(&bytes[off..off + G2_UNCOMPRESSED_BYTES])?;
+        let [q_l, q_r, q_o, q_m, q_c, sigma1, sigma2, sigma3] =
+            points.map(KzgCommitment);
+        let vk = VerifyingKey {
+            n,
+            num_public_inputs: ell,
+            q_l,
+            q_r,
+            q_o,
+            q_m,
+            q_c,
+            sigma1,
+            sigma2,
+            sigma3,
+            g2,
+            tau_g2,
+        };
+        vk.validate()?;
+        Ok(vk)
     }
 }
 

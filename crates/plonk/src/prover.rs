@@ -45,6 +45,22 @@ fn mul_by_vanishing(p: &DensePolynomial, n: usize) -> DensePolynomial {
     &p.shift_up(n) - p
 }
 
+/// Commits through the fallible SRS path, mapping degree overflow back to
+/// the preprocessing-level error (the prover's polynomials only exceed the
+/// SRS when preprocessing was handed an undersized one).
+fn commit_checked(
+    srs: &zkdet_kzg::Srs,
+    p: &DensePolynomial,
+) -> Result<zkdet_kzg::KzgCommitment, PlonkError> {
+    srs.try_commit(p).map_err(|e| match e {
+        zkdet_kzg::KzgError::DegreeTooLarge { degree, max } => PlonkError::SrsTooSmall {
+            required: degree,
+            available: max,
+        },
+        _ => PlonkError::Internal("SRS commitment failed"),
+    })
+}
+
 /// Produces a proof for the compiled circuit's embedded witness.
 pub(crate) fn prove<R: Rng + ?Sized>(
     pk: &ProvingKey,
@@ -79,16 +95,19 @@ pub(crate) fn prove<R: Rng + ?Sized>(
     let [a_c, b_c, c_c] = {
         let polys = [&a_poly, &b_poly, &c_poly];
         let mut out = [zkdet_kzg::KzgCommitment(zkdet_curve::G1Affine::identity()); 3];
-        crossbeam::thread::scope(|scope| {
+        crossbeam::thread::scope(|scope| -> Result<(), PlonkError> {
             let handles: Vec<_> = polys
                 .iter()
-                .map(|p| scope.spawn(move |_| srs.commit(p)))
+                .map(|p| scope.spawn(move |_| commit_checked(srs, p)))
                 .collect();
             for (slot, h) in out.iter_mut().zip(handles) {
-                *slot = h.join().expect("commit worker");
+                *slot = h
+                    .join()
+                    .map_err(|_| PlonkError::Internal("commit worker panicked"))??;
             }
+            Ok(())
         })
-        .expect("commit scope");
+        .map_err(|_| PlonkError::Internal("commit scope panicked"))??;
         out
     };
     transcript.absorb_g1(b"a", &a_c.0);
@@ -126,7 +145,7 @@ pub(crate) fn prove<R: Rng + ?Sized>(
         Fr::random(rng),
     ]);
     let z_poly = &z_base + &mul_by_vanishing(&z_blinder, n);
-    let z_c = srs.commit(&z_poly);
+    let z_c = commit_checked(srs, &z_poly)?;
     transcript.absorb_g1(b"z", &z_c.0);
     let alpha = transcript.challenge_fr(b"alpha");
 
@@ -154,16 +173,19 @@ pub(crate) fn prove<R: Rng + ?Sized>(
     let [a4, b4, c4, z4, pi4, zw4] = {
         let polys = [&a_poly, &b_poly, &c_poly, &z_poly, &pi_poly, &z_shift_poly];
         let mut out: [Vec<Fr>; 6] = Default::default();
-        crossbeam::thread::scope(|scope| {
+        crossbeam::thread::scope(|scope| -> Result<(), PlonkError> {
             let handles: Vec<_> = polys
                 .iter()
                 .map(|p| scope.spawn(move |_| domain4.coset_fft(p.coefficients())))
                 .collect();
             for (slot, h) in out.iter_mut().zip(handles) {
-                *slot = h.join().expect("coset fft worker");
+                *slot = h
+                    .join()
+                    .map_err(|_| PlonkError::Internal("coset fft worker panicked"))?;
             }
+            Ok(())
         })
-        .expect("coset fft scope");
+        .map_err(|_| PlonkError::Internal("coset fft scope panicked"))??;
         out
     };
 
@@ -223,7 +245,7 @@ pub(crate) fn prove<R: Rng + ?Sized>(
             });
         }
     })
-    .expect("quotient scope");
+    .map_err(|_| PlonkError::Internal("quotient worker panicked"))?;
     let t_poly = DensePolynomial::from_coefficients(domain4.coset_ifft(&t4));
     debug_assert!(
         t_poly.degree() <= 3 * n + 5,
@@ -254,9 +276,9 @@ pub(crate) fn prove<R: Rng + ?Sized>(
     let t_lo = DensePolynomial::from_coefficients(t_lo_coeffs);
     let t_mid = DensePolynomial::from_coefficients(t_mid_coeffs);
     let t_hi = DensePolynomial::from_coefficients(t_hi_coeffs);
-    let t_lo_c = srs.commit(&t_lo);
-    let t_mid_c = srs.commit(&t_mid);
-    let t_hi_c = srs.commit(&t_hi);
+    let t_lo_c = commit_checked(srs, &t_lo)?;
+    let t_mid_c = commit_checked(srs, &t_mid)?;
+    let t_hi_c = commit_checked(srs, &t_hi)?;
     transcript.absorb_g1(b"t_lo", &t_lo_c.0);
     transcript.absorb_g1(b"t_mid", &t_mid_c.0);
     transcript.absorb_g1(b"t_hi", &t_hi_c.0);
@@ -282,7 +304,7 @@ pub(crate) fn prove<R: Rng + ?Sized>(
     let l1_zeta = zh_zeta
         * (Fr::from(n as u64) * (zeta - Fr::ONE))
             .inverse()
-            .expect("ζ outside the domain w.h.p.");
+            .ok_or(PlonkError::Internal("ζ collided with the domain"))?;
     let pi_zeta = pi_poly.evaluate(&zeta);
 
     // Gate part (polynomial in the selectors) + PI(ζ).
@@ -327,13 +349,13 @@ pub(crate) fn prove<R: Rng + ?Sized>(
     }
     let (w_quot, rem) = opening.divide_by_linear(zeta);
     debug_assert_eq!(rem, Fr::ZERO);
-    let w_zeta = srs.commit(&w_quot);
+    let w_zeta = commit_checked(srs, &w_quot)?;
 
     // Opening of z at ζω.
     let (wz_quot, rem) = (&z_poly - &DensePolynomial::constant(z_omega_eval))
         .divide_by_linear(zeta_omega);
     debug_assert_eq!(rem, Fr::ZERO);
-    let w_zeta_omega = srs.commit(&wz_quot);
+    let w_zeta_omega = commit_checked(srs, &wz_quot)?;
 
     transcript.absorb_g1(b"w_zeta", &w_zeta.0);
     transcript.absorb_g1(b"w_zeta_omega", &w_zeta_omega.0);

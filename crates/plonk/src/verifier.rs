@@ -73,7 +73,12 @@ fn prepare(vk: &VerifyingKey, public_inputs: &[Fr], proof: &Proof) -> Option<Pre
         return None;
     }
     let n = vk.n;
-    let domain = vk.domain();
+    // A hostile key may carry an n that is not a valid domain size, or an
+    // ℓ exceeding n — both reject, neither may panic.
+    let domain = vk.domain()?;
+    if vk.num_public_inputs > n {
+        return None;
+    }
     let (k1, k2) = (coset_k1(), coset_k2());
 
     // Re-derive the challenges.
@@ -188,6 +193,7 @@ fn prepare(vk: &VerifyingKey, public_inputs: &[Fr], proof: &Proof) -> Option<Pre
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use crate::{CircuitBuilder, Plonk};
     use rand::{rngs::StdRng, SeedableRng};
@@ -308,6 +314,77 @@ mod tests {
             Plonk::preprocess(&srs, &circuit),
             Err(crate::PlonkError::SrsTooSmall { .. })
         ));
+    }
+
+    #[test]
+    fn proof_wire_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(210);
+        let srs = zkdet_kzg::Srs::universal_setup(64, &mut rng);
+        let circuit = toy_circuit(3, 35);
+        let (pk, vk) = Plonk::preprocess(&srs, &circuit).unwrap();
+        let proof = Plonk::prove(&pk, &circuit, &mut rng).unwrap();
+
+        let bytes = proof.to_bytes();
+        assert_eq!(bytes.len(), crate::Proof::SIZE_BYTES);
+        let back = crate::Proof::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back, proof);
+        assert!(Plonk::verify(&vk, &[Fr::from(35u64)], &back));
+
+        // Truncation and extension both reject with BadLength.
+        use zkdet_curve::WireError;
+        assert!(matches!(
+            crate::Proof::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(WireError::BadLength { .. })
+        ));
+        let mut extended = bytes.to_vec();
+        extended.push(0);
+        assert!(matches!(
+            crate::Proof::from_bytes(&extended),
+            Err(WireError::BadLength { .. })
+        ));
+
+        // A non-canonical scalar rejects.
+        let mut bad = bytes;
+        for b in bad[crate::Proof::SIZE_BYTES - 32..].iter_mut() {
+            *b = 0xff;
+        }
+        assert!(matches!(
+            crate::Proof::from_bytes(&bad),
+            Err(WireError::NonCanonical(_))
+        ));
+    }
+
+    #[test]
+    fn verifying_key_wire_roundtrip_and_validation() {
+        let mut rng = StdRng::seed_from_u64(211);
+        let srs = zkdet_kzg::Srs::universal_setup(64, &mut rng);
+        let circuit = toy_circuit(3, 35);
+        let (pk, vk) = Plonk::preprocess(&srs, &circuit).unwrap();
+        let proof = Plonk::prove(&pk, &circuit, &mut rng).unwrap();
+
+        vk.validate().expect("honest vk validates");
+        let bytes = vk.to_bytes();
+        assert_eq!(bytes.len(), crate::VerifyingKey::SIZE_BYTES);
+        let back = crate::VerifyingKey::from_bytes(&bytes).expect("roundtrip");
+        assert!(Plonk::verify(&back, &[Fr::from(35u64)], &proof));
+
+        // Hostile n: not a power of two / absurdly large — decode rejects,
+        // and a directly-constructed hostile key verifies to false rather
+        // than panicking.
+        let mut bad = bytes.clone();
+        bad[..8].copy_from_slice(&7u64.to_le_bytes());
+        assert!(crate::VerifyingKey::from_bytes(&bad).is_err());
+        let mut hostile = vk.clone();
+        hostile.n = 7;
+        assert!(!Plonk::verify(&hostile, &[Fr::from(35u64)], &proof));
+        let mut hostile = vk.clone();
+        hostile.n = usize::MAX;
+        assert!(!Plonk::verify(&hostile, &[Fr::from(35u64)], &proof));
+
+        // Hostile ℓ > n.
+        let mut bad = bytes;
+        bad[8..16].copy_from_slice(&(vk.n as u64 + 1).to_le_bytes());
+        assert!(crate::VerifyingKey::from_bytes(&bad).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Adversarial soundness tests for the PLONK implementation: every way we
 //! can think of to forge, splice or replay a proof must fail.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use rand::{rngs::StdRng, SeedableRng};
 use zkdet_field::{Field, Fr};

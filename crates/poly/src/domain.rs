@@ -25,9 +25,10 @@ impl EvaluationDomain {
     /// Creates a domain of size `num_coeffs.next_power_of_two()`.
     ///
     /// Returns `None` if the required size exceeds `2^28` (the field's
-    /// 2-adicity bound).
+    /// 2-adicity bound) — including hostile sizes so large that rounding
+    /// up to a power of two would itself overflow `usize`.
     pub fn new(num_coeffs: usize) -> Option<Self> {
-        let size = num_coeffs.max(1).next_power_of_two();
+        let size = num_coeffs.max(1).checked_next_power_of_two()?;
         let log_size = size.trailing_zeros();
         if log_size > Fr::TWO_ADICITY {
             return None;

@@ -39,7 +39,9 @@ impl Bytes {
         self.data.is_empty()
     }
 
-    /// Borrows the contents.
+    /// Borrows the contents (inherent method mirroring the real crate's
+    /// API surface).
+    #[allow(clippy::should_implement_trait)]
     pub fn as_ref(&self) -> &[u8] {
         &self.data
     }

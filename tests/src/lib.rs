@@ -5,6 +5,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub mod mutate;
+
 /// Deterministic RNG for integration scenarios.
 pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)

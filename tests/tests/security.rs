@@ -1,7 +1,7 @@
 //! The §V security analysis, executed: each property of Theorems 5.1 and
 //! 5.2 gets an adversarial scenario.
 
-use rand::{rngs::StdRng, SeedableRng};
+use rand::rngs::StdRng;
 use zkdet_circuits::exchange::RangePredicate;
 use zkdet_core::{Dataset, Marketplace, TransformProof, ZkdetError};
 use zkdet_crypto::poseidon::Poseidon;

@@ -1,0 +1,196 @@
+//! Property-based round-trips for every trust-boundary wire format, plus a
+//! seeded corpus of known-bad encodings that must always be rejected.
+//!
+//! The invariant under test is *canonicity*: for every artefact,
+//! `to_bytes(from_bytes(bytes)?) == bytes` — there is exactly one byte
+//! string per value, so hostile re-encodings cannot smuggle a second
+//! representation of the same proof past a digest or a dedup check.
+
+use proptest::prelude::*;
+use zkdet_curve::{G1Affine, G1Projective, G2Affine, G2Projective, WireError};
+use zkdet_field::{Fq, Fr, PrimeField};
+use zkdet_kzg::KzgCommitment;
+use zkdet_plonk::Proof;
+
+fn arb_fr() -> impl Strategy<Value = Fr> {
+    any::<[u8; 64]>().prop_map(|b| Fr::from_bytes_wide(&b))
+}
+
+fn arb_fq() -> impl Strategy<Value = Fq> {
+    any::<[u8; 64]>().prop_map(|b| Fq::from_bytes_wide(&b))
+}
+
+fn arb_g1() -> impl Strategy<Value = G1Affine> {
+    arb_fr().prop_map(|s| (G1Projective::generator() * s).to_affine())
+}
+
+fn arb_g2() -> impl Strategy<Value = G2Affine> {
+    arb_fr().prop_map(|s| (G2Projective::generator() * s).to_affine())
+}
+
+/// A structurally valid proof from arbitrary subgroup points and scalars
+/// (round-tripping does not require the proof to verify).
+fn arb_proof() -> impl Strategy<Value = Proof> {
+    (arb_fr(), arb_fr(), arb_fr(), arb_fr()).prop_map(|(a, b, c, d)| {
+        let pt = |s: Fr| KzgCommitment((G1Projective::generator() * s).to_affine());
+        Proof {
+            a: pt(a),
+            b: pt(b),
+            c: pt(c),
+            z: pt(d),
+            t_lo: pt(a + b),
+            t_mid: pt(b + c),
+            t_hi: pt(c + d),
+            w_zeta: pt(a * b),
+            w_zeta_omega: pt(c * d),
+            a_eval: a,
+            b_eval: b,
+            c_eval: c,
+            sigma1_eval: d,
+            sigma2_eval: a + d,
+            z_omega_eval: b + d,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_fr_bytes_roundtrip(a in arb_fr()) {
+        let bytes = a.to_bytes();
+        prop_assert_eq!(Fr::from_bytes(&bytes), Some(a));
+        // Canonicity: re-encoding reproduces the identical bytes.
+        prop_assert_eq!(Fr::from_bytes(&bytes).map(|x| x.to_bytes()), Some(bytes));
+    }
+
+    #[test]
+    fn prop_fq_bytes_roundtrip(a in arb_fq()) {
+        let bytes = a.to_bytes();
+        prop_assert_eq!(Fq::from_bytes(&bytes), Some(a));
+        prop_assert_eq!(Fq::from_bytes(&bytes).map(|x| x.to_bytes()), Some(bytes));
+    }
+
+    #[test]
+    fn prop_g1_uncompressed_roundtrip(p in arb_g1()) {
+        let bytes = p.to_uncompressed();
+        let back = G1Affine::from_uncompressed(&bytes);
+        prop_assert_eq!(back, Ok(p));
+        prop_assert_eq!(back.map(|q| q.to_uncompressed()), Ok(bytes));
+    }
+
+    #[test]
+    fn prop_g1_compressed_roundtrip(p in arb_g1()) {
+        let bytes = p.to_compressed();
+        let back = G1Affine::from_compressed_validated(&bytes);
+        prop_assert_eq!(back, Ok(p));
+        prop_assert_eq!(back.map(|q| q.to_compressed()), Ok(bytes));
+    }
+
+    #[test]
+    fn prop_g2_uncompressed_roundtrip(p in arb_g2()) {
+        let bytes = p.to_uncompressed();
+        let back = G2Affine::from_uncompressed(&bytes);
+        prop_assert_eq!(back, Ok(p));
+        prop_assert_eq!(back.map(|q| q.to_uncompressed()), Ok(bytes));
+    }
+
+    #[test]
+    fn prop_proof_bytes_roundtrip(proof in arb_proof()) {
+        let bytes = proof.to_bytes();
+        let back = Proof::from_bytes(&bytes);
+        prop_assert_eq!(back.as_ref().ok(), Some(&proof));
+        prop_assert_eq!(back.map(|p| p.to_bytes()), Ok(bytes));
+    }
+
+    #[test]
+    fn prop_corrupt_scalar_tail_never_roundtrips(a in arb_fr(), hi in 0xf4u8..=0xffu8) {
+        // Forcing the top byte of an Fr encoding to ≥ 0xf4 pushes the value
+        // over the modulus (r's top byte is 0x30): must be rejected.
+        let mut bytes = a.to_bytes();
+        bytes[31] = hi;
+        prop_assert_eq!(Fr::from_bytes(&bytes), None);
+    }
+}
+
+// ------------------------------------------------------------------------ //
+//  Seeded corpus of known-bad encodings                                    //
+// ------------------------------------------------------------------------ //
+
+fn decode_hex(s: &str) -> Vec<u8> {
+    assert!(s.len() % 2 == 0, "odd-length hex: {s}");
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex"))
+        .collect()
+}
+
+/// `true` if the decoder for `kind` rejects `bytes`.
+fn rejected(kind: &str, bytes: &[u8]) -> bool {
+    match kind {
+        "fr" => {
+            let Ok(arr) = <[u8; 32]>::try_from(bytes) else {
+                return true;
+            };
+            Fr::from_bytes(&arr).is_none()
+        }
+        "fq" => {
+            let Ok(arr) = <[u8; 32]>::try_from(bytes) else {
+                return true;
+            };
+            Fq::from_bytes(&arr).is_none()
+        }
+        "g1u" => G1Affine::from_uncompressed(bytes).is_err(),
+        "g1c" => {
+            let Ok(arr) = <[u8; 33]>::try_from(bytes) else {
+                return true;
+            };
+            G1Affine::from_compressed_validated(&arr).is_err()
+        }
+        "g2u" => G2Affine::from_uncompressed(bytes).is_err(),
+        "proof" => Proof::from_bytes(bytes).is_err(),
+        other => panic!("unknown corpus kind {other:?}"),
+    }
+}
+
+#[test]
+fn bad_wire_corpus_is_fully_rejected() {
+    let corpus = include_str!("../corpus/bad_wire.txt");
+    let mut checked = 0;
+    for (lineno, line) in corpus.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().expect("corpus line has a kind");
+        let hex = parts.next().unwrap_or("");
+        let bytes = decode_hex(hex);
+        assert!(
+            rejected(kind, &bytes),
+            "corpus line {} ({kind}, {} bytes) was accepted",
+            lineno + 1,
+            bytes.len()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 30, "corpus unexpectedly small: {checked} entries");
+}
+
+/// The corpus stays in sync with reality: a *good* encoding of each kind
+/// must still be accepted (guards against a decoder that rejects
+/// everything, which would vacuously pass the corpus test).
+#[test]
+fn good_encodings_still_accepted() {
+    let g = G1Affine::generator();
+    assert!(G1Affine::from_uncompressed(&g.to_uncompressed()).is_ok());
+    assert!(G1Affine::from_compressed_validated(&g.to_compressed()).is_ok());
+    let g2 = G2Affine::generator();
+    assert!(G2Affine::from_uncompressed(&g2.to_uncompressed()).is_ok());
+    assert!(Fr::from_bytes(&Fr::from(123u64).to_bytes()).is_some());
+    assert!(Fq::from_bytes(&Fq::from(123u64).to_bytes()).is_some());
+    let _ = WireError::BadLength {
+        expected: 65,
+        got: 0,
+    }; // the error type itself is part of the public API
+}
