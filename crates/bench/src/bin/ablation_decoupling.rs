@@ -15,16 +15,21 @@
 
 use std::time::Duration;
 
-use zkdet_bench::{bench_rng, enc_instance, fmt_duration, time};
+use zkdet_bench::{bench_rng, enc_instance, fmt_duration, time, BenchReport};
 use zkdet_circuits::DuplicationCircuit;
 use zkdet_crypto::commitment::CommitmentScheme;
 use zkdet_kzg::Srs;
 use zkdet_plonk::Plonk;
+use zkdet_telemetry::Value;
 
 fn main() {
+    zkdet_bench::init_telemetry();
     let mut rng = bench_rng();
     let blocks = 64;
     let steps = 3;
+    let mut report = BenchReport::new("ablation_decoupling");
+    report.meta("blocks", blocks as u64);
+    report.meta("steps", steps as u64);
     let srs = Srs::universal_setup(1 << 17, &mut rng);
 
     // Shared shapes/keys (identical for both arms).
@@ -69,4 +74,18 @@ fn main() {
         "  saving: {:.0}%  (paper predicts ~50% for long chains: 2T vs T+1 encryption proofs)",
         100.0 * (1.0 - decoupled.as_secs_f64() / naive.as_secs_f64())
     );
+    report.row(
+        Value::object()
+            .with("arm", "naive")
+            .with("total_ns", naive.as_nanos() as u64),
+    );
+    report.row(
+        Value::object()
+            .with("arm", "decoupled")
+            .with("total_ns", decoupled.as_nanos() as u64),
+    );
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench artefact: {e}"),
+    }
 }

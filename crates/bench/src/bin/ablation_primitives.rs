@@ -13,12 +13,14 @@
 //! cargo run --release -p zkdet-bench --bin ablation_primitives
 //! ```
 
-use zkdet_bench::bench_rng;
+use zkdet_bench::{bench_rng, BenchReport};
 use zkdet_circuits::gadgets::{mimc_ctr_encrypt, poseidon_hash_two};
 use zkdet_field::{Field, Fr};
 use zkdet_plonk::CircuitBuilder;
+use zkdet_telemetry::Value;
 
 fn main() {
+    zkdet_bench::init_telemetry();
     let mut rng = bench_rng();
     let _ = &mut rng;
 
@@ -61,6 +63,23 @@ fn main() {
         "  ⇒ Poseidon saving vs SHA-256",
         format!("{:.0}×", 27_000.0 / poseidon_gates as f64)
     );
+    let mut report = BenchReport::new("ablation_primitives");
+    report.meta("aes128_literature", 12_800u64);
+    report.meta("sha256_literature", 27_000u64);
+    report.row(
+        Value::object()
+            .with("primitive", "mimc_ctr_per_block")
+            .with("constraints", mimc_per_block as u64),
+    );
+    report.row(
+        Value::object()
+            .with("primitive", "poseidon_two_to_one")
+            .with("constraints", poseidon_gates as u64),
+    );
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench artefact: {e}"),
+    }
     println!();
     println!("paper reference (§IV-C): MiMC needs only 82 multiplications per");
     println!("block; Poseidon ≈ 1/8 the constraints of Pedersen — an AES/SHA");

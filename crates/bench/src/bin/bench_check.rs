@@ -1,0 +1,45 @@
+//! Schema checker for `BENCH_<name>.json` artefacts.
+//!
+//! Parses each file argument and validates it against schema
+//! `zkdet-bench-v1` ([`zkdet_bench::check`]). Exits non-zero if any file
+//! fails to parse or violates the schema — CI runs this over the artefacts
+//! the bench binaries emit.
+//!
+//! ```text
+//! cargo run --release -p zkdet-bench --bin bench_check -- BENCH_*.json
+//! ```
+
+use std::process::ExitCode;
+
+use zkdet_telemetry::Value;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: bench_check <BENCH_*.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    for file in &files {
+        let verdict = std::fs::read_to_string(file)
+            .map_err(|e| format!("read error: {e}"))
+            .and_then(|text| {
+                Value::parse(&text).map_err(|e| format!("parse error: {e}"))
+            })
+            .and_then(|artefact| zkdet_bench::check(&artefact));
+        match verdict {
+            Ok(()) => println!("{file}: ok"),
+            Err(e) => {
+                eprintln!("{file}: FAIL — {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} of {} artefact(s) failed schema check", files.len());
+        ExitCode::FAILURE
+    } else {
+        println!("{} artefact(s) pass schema {}", files.len(), zkdet_bench::SCHEMA);
+        ExitCode::SUCCESS
+    }
+}

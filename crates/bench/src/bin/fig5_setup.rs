@@ -11,14 +11,19 @@
 //! cargo run --release -p zkdet-bench --bin fig5_setup [--full]
 //! ```
 
-use zkdet_bench::{bench_rng, fmt_duration, synthetic_circuit, time};
+use zkdet_bench::{bench_rng, fmt_duration, synthetic_circuit, time, BenchReport};
 use zkdet_kzg::Srs;
 use zkdet_plonk::Plonk;
+use zkdet_telemetry::Value;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    zkdet_bench::init_telemetry();
     let mut rng = bench_rng();
     let max_log = if full { 18 } else { 17 };
+    let mut report = BenchReport::new("fig5_setup");
+    report.meta("preset", if full { "full" } else { "default" });
+    report.meta("max_log_constraints", max_log as u64);
 
     println!("Figure 5 — circuit setup time vs. number of constraints");
     println!("{:>13} {:>15} {:>15} {:>15}", "constraints", "SRS (universal)", "preprocess", "total");
@@ -39,6 +44,16 @@ fn main() {
             fmt_duration(pre_time),
             fmt_duration(srs_time + pre_time),
         );
+        report.row(
+            Value::object()
+                .with("constraints", n as u64)
+                .with("srs_ns", srs_time.as_nanos() as u64)
+                .with("preprocess_ns", pre_time.as_nanos() as u64),
+        );
+    }
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench artefact: {e}"),
     }
     println!();
     println!("paper reference: setup grows ~linearly in the constraint count;");

@@ -9,25 +9,43 @@
 //!   (paper: ~120 ms flat).
 //!
 //! The paper's x-axis reaches 5 MB; we sweep 1–32 KiB by default (`--full`
-//! doubles twice more) — the per-byte scaling, which is the figure's whole
-//! point, is unchanged.
+//! doubles twice more, `--small` halves thrice for CI) — the per-byte
+//! scaling, which is the figure's whole point, is unchanged.
+//!
+//! Emits `BENCH_fig6_proving.json` (schema `zkdet-bench-v1`) alongside the
+//! table; set `ZKDET_TELEMETRY=off` to measure without instrumentation.
 //!
 //! ```text
-//! cargo run --release -p zkdet-bench --bin fig6_proving [--full]
+//! cargo run --release -p zkdet-bench --bin fig6_proving [--full|--small]
 //! ```
 
-use zkdet_bench::{bench_rng, blocks_to_bytes, enc_instance, fmt_duration, time};
+use zkdet_bench::{
+    bench_rng, blocks_to_bytes, enc_instance, fmt_duration, time, BenchReport,
+};
 use zkdet_circuits::exchange::KeyNegotiationCircuit;
 use zkdet_circuits::DuplicationCircuit;
 use zkdet_crypto::commitment::CommitmentScheme;
 use zkdet_field::{Field, Fr};
 use zkdet_kzg::Srs;
 use zkdet_plonk::Plonk;
+use zkdet_telemetry::Value;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let small = std::env::args().any(|a| a == "--small");
+    let telemetry_on = zkdet_bench::init_telemetry();
     let mut rng = bench_rng();
-    let max_blocks: usize = if full { 2048 } else { 512 };
+    let (preset, max_blocks): (&str, usize) = if full {
+        ("full", 2048)
+    } else if small {
+        ("small", 64)
+    } else {
+        ("default", 512)
+    };
+    let mut report = BenchReport::new("fig6_proving");
+    report.meta("preset", preset);
+    report.meta("max_blocks", max_blocks as u64);
+    report.meta("telemetry", telemetry_on);
 
     // One SRS big enough for the largest circuit in the sweep
     // (~700 gates/block for π_e).
@@ -89,7 +107,19 @@ fn main() {
             fmt_duration(dup_time),
             fmt_duration(pi_k_time),
         );
+        report.row(
+            Value::object()
+                .with("blocks", blocks as u64)
+                .with("bytes", blocks_to_bytes(blocks) as u64)
+                .with("pi_e_ns", enc_time.as_nanos() as u64)
+                .with("pi_t_ns", dup_time.as_nanos() as u64)
+                .with("pi_k_ns", pi_k_time.as_nanos() as u64),
+        );
         blocks *= 2;
+    }
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench artefact: {e}"),
     }
     println!();
     println!("paper reference: ~3 min for a 5 MB dataset's π_e; ~10 s for its π_t;");

@@ -15,15 +15,19 @@
 //! cargo run --release -p zkdet-bench --bin fig7_verify
 //! ```
 
-use zkdet_bench::{bench_rng, fmt_duration, time};
+use zkdet_bench::{bench_rng, fmt_duration, time, BenchReport};
 use zkdet_curve::{multi_miller_loop, final_exponentiation, G1Projective, G2Affine};
 use zkdet_field::{Field, Fr};
 use zkdet_kzg::Srs;
 use zkdet_plonk::{CircuitBuilder, Plonk};
+use zkdet_telemetry::Value;
 
 fn main() {
+    zkdet_bench::init_telemetry();
     let mut rng = bench_rng();
     let srs = Srs::universal_setup((1 << 15) + 8, &mut rng);
+    let mut report = BenchReport::new("fig7_verify");
+    report.meta("zkcp_model", "3 pairings + ell G1 muls");
 
     println!("Figure 7 — verification time vs. number of public inputs ℓ");
     println!(
@@ -76,6 +80,16 @@ fn main() {
             fmt_duration(zkdet_time),
             fmt_duration(zkcp_time)
         );
+        report.row(
+            Value::object()
+                .with("ell", ell as u64)
+                .with("zkdet_ns", zkdet_time.as_nanos() as u64)
+                .with("zkcp_ns", zkcp_time.as_nanos() as u64),
+        );
+    }
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench artefact: {e}"),
     }
     println!();
     println!("paper reference: ZKDET verification stays < 0.1 s at every input size;");

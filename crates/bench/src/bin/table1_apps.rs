@@ -19,7 +19,7 @@
 //! cargo run --release -p zkdet-bench --bin table1_apps [--full]
 //! ```
 
-use zkdet_bench::{bench_rng, fmt_duration, logreg_witness, time};
+use zkdet_bench::{bench_rng, fmt_duration, logreg_witness, time, BenchReport};
 use zkdet_circuits::apps::logreg::LogisticRegressionCircuit;
 use zkdet_circuits::apps::transformer::{
     encode_matrix, TransformerBlockCircuit, TransformerWeights,
@@ -27,10 +27,15 @@ use zkdet_circuits::apps::transformer::{
 use zkdet_crypto::commitment::CommitmentScheme;
 use zkdet_kzg::Srs;
 use zkdet_plonk::{Plonk, Proof};
+use zkdet_telemetry::Value;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    zkdet_bench::init_telemetry();
     let mut rng = bench_rng();
+    let mut report = BenchReport::new("table1_apps");
+    report.meta("preset", if full { "full" } else { "default" });
+    report.meta("proof_size_bytes", Proof::SIZE_BYTES as u64);
     let srs_degree = if full { 1 << 21 } else { 1 << 19 };
     eprintln!("(one-time) universal SRS up to degree {srs_degree}…");
     let srs = Srs::universal_setup(srs_degree + 8, &mut rng);
@@ -63,6 +68,13 @@ fn main() {
             circuit.rows(),
             fmt_duration(t),
             format!("{} B", Proof::SIZE_BYTES)
+        );
+        report.row(
+            Value::object()
+                .with("task", "logreg")
+                .with("entries", n as u64)
+                .with("constraints", circuit.rows() as u64)
+                .with("prove_ns", t.as_nanos() as u64),
         );
     }
     for target in [495usize, 1_963, 10_210] {
@@ -119,6 +131,13 @@ fn main() {
             fmt_duration(t),
             format!("{} B", Proof::SIZE_BYTES)
         );
+        report.row(
+            Value::object()
+                .with("task", "transformer")
+                .with("params", params as u64)
+                .with("constraints", circuit.rows() as u64)
+                .with("prove_ns", t.as_nanos() as u64),
+        );
     }
     for target in [201_163usize, 1_016_783] {
         println!(
@@ -131,6 +150,10 @@ fn main() {
         );
     }
 
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench artefact: {e}"),
+    }
     println!();
     println!("paper reference: LR 495 → 3.11 s, 1,963 → 21.73 s, 10,210 → 131.44 s;");
     println!("transformer 201k → 1 min 29 s, 1.02 M → 8 min 12 s; size ~2.4 KB constant.");

@@ -9,15 +9,25 @@
 //! ```
 
 use rand::SeedableRng;
-use zkdet_bench::bench_rng;
+use zkdet_bench::{bench_rng, BenchReport};
 use zkdet_core::{Dataset, Marketplace};
 use zkdet_field::Fr;
+use zkdet_telemetry::Value;
 
-fn row(op: &str, measured: u64, paper: &str) {
+fn row(report: &mut BenchReport, op: &str, measured: u64, paper: &str) {
     println!("{op:<38} {measured:>12} {paper:>12}");
+    report.row(
+        Value::object()
+            .with("operation", op)
+            .with("gas", measured)
+            .with("paper", paper),
+    );
 }
 
 fn main() {
+    zkdet_bench::init_telemetry();
+    let mut report = BenchReport::new("table2_gas");
+    report.meta("gas_schedule", "ethereum-istanbul");
     let mut rng = bench_rng();
     // Small datasets: gas does not depend on dataset size (only metadata
     // goes on-chain), which is itself one of the paper's points.
@@ -33,9 +43,9 @@ fn main() {
     let operator = zkdet_chain::Address::from_seed(1000);
     m.chain.state.fund(operator, 1_000_000_000_000);
     let (_, r) = m.chain.deploy_nft(operator);
-    row("ZKDET contract deployment", r.gas_used, "1,020,954");
+    row(&mut report, "ZKDET contract deployment", r.gas_used, "1,020,954");
     let (_, r) = m.chain.deploy_verifier(operator, m.keyneg_vk.clone());
-    row("Verifier contract deployment", r.gas_used, "1,644,969");
+    row(&mut report, "Verifier contract deployment", r.gas_used, "1,644,969");
 
     // Token minting.
     let ds = |vals: &[u64]| Dataset::from_entries(vals.iter().map(|v| Fr::from(*v)).collect());
@@ -48,14 +58,14 @@ fn main() {
         .publish_original(&mut alice, ds(&[1, 2]), &mut rng)
         .expect("publish");
     let mint_gas = last_gas(&m, "mint");
-    row("Token minting", mint_gas, "106,048");
+    row(&mut report, "Token minting", mint_gas, "106,048");
 
     // Transfer.
     let r = m
         .chain
         .nft_transfer(m.nft_addr, alice.address, bob, t1)
         .expect("transfer");
-    row("Token transferring", r.gas_used, "36,574");
+    row(&mut report, "Token transferring", r.gas_used, "36,574");
     // Move it back so alice can keep operating on it.
     m.chain
         .nft_transfer(m.nft_addr, bob, alice.address, t1)
@@ -69,7 +79,7 @@ fn main() {
         .chain
         .nft_burn(m.nft_addr, alice.address, t_burn)
         .expect("burn");
-    row("Token burning", r.gas_used, "50,084");
+    row(&mut report, "Token burning", r.gas_used, "50,084");
 
     // Transformations (the on-chain cost: minting the derived token with
     // its provenance links; proofs verify off-chain or via the verifier).
@@ -77,7 +87,7 @@ fn main() {
         .publish_original(&mut alice, ds(&[3]), &mut rng)
         .expect("publish");
     let _agg = m.aggregate(&mut alice, &[t1, t2], &mut rng).expect("agg");
-    row("Data transformation: Aggregation", last_gas(&m, "mint"), "96,780");
+    row(&mut report, "Data transformation: Aggregation", last_gas(&m, "mint"), "96,780");
 
     let src = m
         .publish_original(&mut alice, ds(&[4, 5]), &mut rng)
@@ -85,10 +95,10 @@ fn main() {
     let _parts = m
         .partition(&mut alice, src, &[1, 1], &mut rng)
         .expect("partition");
-    row("Data transformation: Partition", last_gas(&m, "mint"), "83,124");
+    row(&mut report, "Data transformation: Partition", last_gas(&m, "mint"), "83,124");
 
     let _dup = m.duplicate(&mut alice, t2, &mut rng).expect("dup");
-    row("Data transformation: Duplication", last_gas(&m, "mint"), "94,012");
+    row(&mut report, "Data transformation: Duplication", last_gas(&m, "mint"), "94,012");
 
     // Bonus: on-chain π_k verification cost (§VI-C2 — "free" after the
     // one-time verifier deployment; fixed cost per call).
@@ -110,8 +120,12 @@ fn main() {
         .verify_on_chain(m.keyneg_verifier_addr, &publics, &proof)
         .expect("verify tx");
     assert!(ok);
-    row("On-chain proof verification (extra)", r.gas_used, "-");
+    row(&mut report, "On-chain proof verification (extra)", r.gas_used, "-");
 
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench artefact: {e}"),
+    }
     println!();
     println!("measured values use the Ethereum (Istanbul-era) gas schedule on the");
     println!("chain simulator; the ordering and magnitudes match the paper's table.");

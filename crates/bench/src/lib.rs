@@ -15,6 +15,10 @@
 //! at reduced sizes plus substrate micro-benchmarks (MSM, FFT, pairing,
 //! MiMC, Poseidon).
 
+pub mod report;
+
+pub use report::{check, init_telemetry, BenchReport, SCHEMA};
+
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;

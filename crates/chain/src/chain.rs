@@ -336,6 +336,20 @@ impl Blockchain {
             events,
             action,
         };
+        if zkdet_telemetry::is_enabled() {
+            // Every contract call funnels through here, so this one hook
+            // gives gas-per-call across the whole chain API. Receipts are
+            // keyed by the first word of their action string ("deploy",
+            // "mint", "settle", …) for a stable per-op vocabulary.
+            zkdet_telemetry::counter_add("zkdet.chain.tx.calls", 1);
+            zkdet_telemetry::counter_add("zkdet.chain.gas.total", receipt.gas_used);
+            zkdet_telemetry::observe("zkdet.chain.gas.per_call", receipt.gas_used);
+            let op = receipt.action.split_whitespace().next().unwrap_or("other");
+            zkdet_telemetry::counter_add(
+                &format!("zkdet.chain.gas.by_op.{op}"),
+                receipt.gas_used,
+            );
+        }
         self.tx_counter += 1;
         self.pending.push(receipt.clone());
         receipt

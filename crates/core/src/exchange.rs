@@ -123,6 +123,7 @@ impl Marketplace {
         predicate_description: String,
         rng: &mut R,
     ) -> Result<SellerListing, ZkdetError> {
+        let _span = zkdet_telemetry::span("exchange.list");
         let secret = owner
             .secret(token)
             .ok_or(ZkdetError::MissingSecret(token))?;
@@ -156,6 +157,7 @@ impl Marketplace {
         predicate: P,
         rng: &mut R,
     ) -> Result<ValidationPackage, ZkdetError> {
+        let _span = zkdet_telemetry::span("exchange.validation_package");
         let secret = owner
             .secret(token)
             .ok_or(ZkdetError::MissingSecret(token))?;
@@ -189,6 +191,7 @@ impl Marketplace {
         package: &ValidationPackage,
         rng: &mut R,
     ) -> Result<BuyerSession, ZkdetError> {
+        let _span = zkdet_telemetry::span("exchange.validate_and_lock");
         let listing = self
             .chain
             .auction(&self.auction_addr)?
@@ -231,6 +234,7 @@ impl Marketplace {
         buyer_k_v: Fr,
         rng: &mut R,
     ) -> Result<(), ZkdetError> {
+        let _span = zkdet_telemetry::span("exchange.settle");
         let secret = owner
             .secret(seller_listing.token)
             .ok_or(ZkdetError::MissingSecret(seller_listing.token))?;
@@ -319,6 +323,7 @@ impl Marketplace {
         buyer: &mut DataOwner,
         session: &BuyerSession,
     ) -> Result<Dataset, ZkdetError> {
+        let _span = zkdet_telemetry::span("exchange.recover");
         let k_c = self
             .published_k_c(session.listing)
             .ok_or_else(|| ZkdetError::Protocol("listing not settled yet".into()))?;
@@ -359,6 +364,7 @@ impl Marketplace {
 
     /// Buyer refund path after a seller timeout (`REFUND_TIMEOUT_BLOCKS`).
     pub fn buyer_refund(&mut self, session: &BuyerSession) -> Result<ExchangeOutcome, ZkdetError> {
+        let _span = zkdet_telemetry::span("exchange.refund");
         self.chain
             .auction_refund(self.auction_addr, session.buyer, session.listing)?;
         Ok(ExchangeOutcome::Refunded)
@@ -388,11 +394,16 @@ impl Marketplace {
     ) -> Result<ExchangeReport, ZkdetError> {
         use crate::error::Recovery;
 
+        let mut drive_span = zkdet_telemetry::span("exchange.drive");
         let mut recover_attempts = 0u32;
         let mut blocks_waited = 0u64;
         loop {
+            // Last write wins, so the finished span carries final values.
+            drive_span.record("recover_attempts", u64::from(recover_attempts));
+            drive_span.record("blocks_waited", blocks_waited);
             if self.published_k_c(session.listing).is_some() {
                 recover_attempts += 1;
+                drive_span.record("recover_attempts", u64::from(recover_attempts));
                 match self.buyer_recover(buyer, session) {
                     Ok(data) => {
                         return Ok(ExchangeReport {

@@ -19,7 +19,7 @@ use zkdet_crypto::mimc::{Ciphertext, MimcCtr};
 use zkdet_field::{Field, Fr};
 use zkdet_kzg::Srs;
 use zkdet_plonk::{Plonk, Proof, ProvingKey, VerifyingKey};
-use zkdet_storage::{PinOwner, RetrievalPolicy, RetrievalStats, StorageNetwork};
+use zkdet_storage::{PinOwner, RetrievalPolicy, StorageNetwork};
 
 use crate::bundle::{ProofBundle, TransformProof};
 use crate::codec::{decode_ciphertext, encode_ciphertext};
@@ -78,9 +78,15 @@ pub struct ProvenanceReport {
 /// Cumulative retrieval-robustness counters across every storage fetch a
 /// marketplace performed (audits, recoveries, adversary decryptions…).
 ///
-/// Each counter sums the per-retrieval [`RetrievalStats`]; `retrievals`
+/// Each counter sums the per-retrieval [`zkdet_storage::RetrievalStats`];
+/// `retrievals`
 /// counts the fetches themselves. A fault-free run shows
 /// `attempts == retrievals` and zeros everywhere else.
+///
+/// This is a point-in-time *view* of the marketplace's
+/// [`zkdet_telemetry::Registry`] (see [`Marketplace::metrics`]) — the
+/// registry is the single metrics vocabulary; this struct survives as the
+/// ergonomic read side.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RobustnessMetrics {
     /// Storage fetches performed.
@@ -96,14 +102,14 @@ pub struct RobustnessMetrics {
     pub backoff_ticks: u64,
 }
 
-impl RobustnessMetrics {
-    fn record(&mut self, stats: &RetrievalStats) {
-        self.retrievals += 1;
-        self.attempts += u64::from(stats.attempts);
-        self.hedges += u64::from(stats.hedges);
-        self.quarantined += u64::from(stats.quarantined);
-        self.backoff_ticks += stats.backoff_ticks;
-    }
+/// Canonical metric names shared with the storage layer's own
+/// instrumentation (DESIGN.md §10).
+mod metric {
+    pub const RETRIEVALS: &str = "zkdet.storage.retrieve.calls";
+    pub const ATTEMPTS: &str = "zkdet.storage.retrieve.attempts";
+    pub const HEDGES: &str = "zkdet.storage.retrieve.hedges";
+    pub const QUARANTINED: &str = "zkdet.storage.retrieve.quarantined";
+    pub const BACKOFF_TICKS: &str = "zkdet.storage.backoff.ticks";
 }
 
 /// Cache key for preprocessed circuit shapes.
@@ -139,8 +145,10 @@ pub struct Marketplace {
     next_owner_seed: u64,
     /// How hard storage fetches fight infrastructure faults.
     retrieval_policy: RetrievalPolicy,
-    /// Cumulative retrieval-robustness counters.
-    robustness: RobustnessMetrics,
+    /// Per-instance metrics registry: always on (unlike the disabled-by-
+    /// default global), so parallel tests stay isolated and the robustness
+    /// counters are never silently lost.
+    metrics: zkdet_telemetry::Registry,
 }
 
 impl Marketplace {
@@ -153,6 +161,9 @@ impl Marketplace {
         storage_nodes: usize,
         rng: &mut R,
     ) -> Result<Self, ZkdetError> {
+        let mut span = zkdet_telemetry::span("market.bootstrap");
+        span.record("max_constraints", max_constraints as u64);
+        span.record("storage_nodes", storage_nodes as u64);
         let srs = Arc::new(Srs::universal_setup(max_constraints + 8, rng));
         let storage = StorageNetwork::new(storage_nodes);
         let mut chain = Blockchain::new();
@@ -182,7 +193,7 @@ impl Marketplace {
             processing_vks: HashMap::new(),
             next_owner_seed: 1,
             retrieval_policy: RetrievalPolicy::default(),
-            robustness: RobustnessMetrics::default(),
+            metrics: zkdet_telemetry::Registry::new(),
         })
     }
 
@@ -196,9 +207,22 @@ impl Marketplace {
         &self.retrieval_policy
     }
 
-    /// Cumulative robustness counters over every fetch performed so far.
-    pub fn robustness(&self) -> &RobustnessMetrics {
-        &self.robustness
+    /// Cumulative robustness counters over every fetch performed so far
+    /// (a view of [`Self::metrics`]).
+    pub fn robustness(&self) -> RobustnessMetrics {
+        RobustnessMetrics {
+            retrievals: self.metrics.counter_value(metric::RETRIEVALS),
+            attempts: self.metrics.counter_value(metric::ATTEMPTS),
+            hedges: self.metrics.counter_value(metric::HEDGES),
+            quarantined: self.metrics.counter_value(metric::QUARANTINED),
+            backoff_ticks: self.metrics.counter_value(metric::BACKOFF_TICKS),
+        }
+    }
+
+    /// The marketplace's own metrics registry: retrieval robustness plus
+    /// anything future protocol code records per instance.
+    pub fn metrics(&self) -> &zkdet_telemetry::Registry {
+        &self.metrics
     }
 
     /// Registers a processing relation `f` (public setup data): auditors
@@ -327,6 +351,8 @@ impl Marketplace {
         data: Dataset,
         rng: &mut R,
     ) -> Result<TokenId, ZkdetError> {
+        let mut span = zkdet_telemetry::span("market.publish");
+        span.record("blocks", data.len() as u64);
         let (secret, ciphertext, pi_e) = self.encrypt_and_prove(&data, rng)?;
         let bundle = ProofBundle {
             pi_e,
@@ -350,6 +376,7 @@ impl Marketplace {
         data: &Dataset,
         rng: &mut R,
     ) -> Result<(DatasetSecret, Ciphertext, Proof), ZkdetError> {
+        let _span = zkdet_telemetry::span("market.encrypt_and_prove");
         let key = Fr::random(rng);
         let nonce = Fr::random(rng);
         let ciphertext = MimcCtr::new(key, nonce).encrypt(data.entries());
@@ -386,6 +413,7 @@ impl Marketplace {
         kind: TransformKind,
         prev_ids: Vec<TokenId>,
     ) -> Result<TokenId, ZkdetError> {
+        let _span = zkdet_telemetry::span("market.mint");
         let cid = self.storage.publish(owner.pin, encode_ciphertext(&ciphertext));
         let proof_cid = self.storage.publish(owner.pin, bundle.to_bytes());
         let meta = TokenMeta {
@@ -614,6 +642,7 @@ impl Marketplace {
         &mut self,
         token: TokenId,
     ) -> Result<(Ciphertext, ProofBundle), ZkdetError> {
+        let _span = zkdet_telemetry::span("market.fetch_artefacts");
         let meta = self.chain.nft(&self.nft_addr)?.token_meta(token)?.clone();
         let ct_bytes = self.retrieve_tracked(&meta.cid)?;
         let ciphertext = decode_ciphertext(&ct_bytes)?;
@@ -633,7 +662,15 @@ impl Marketplace {
         let (bytes, stats) = self
             .storage
             .retrieve_resilient(cid, &self.retrieval_policy)?;
-        self.robustness.record(&stats);
+        self.metrics.counter_add(metric::RETRIEVALS, 1);
+        self.metrics
+            .counter_add(metric::ATTEMPTS, u64::from(stats.attempts));
+        self.metrics
+            .counter_add(metric::HEDGES, u64::from(stats.hedges));
+        self.metrics
+            .counter_add(metric::QUARANTINED, u64::from(stats.quarantined));
+        self.metrics
+            .counter_add(metric::BACKOFF_TICKS, stats.backoff_ticks);
         Ok(bytes)
     }
 
@@ -648,7 +685,10 @@ impl Marketplace {
         token: TokenId,
         rng: &mut R,
     ) -> Result<ProvenanceReport, ZkdetError> {
+        let mut span = zkdet_telemetry::span("market.audit");
         let (checks, report) = self.collect_audit_checks(token, rng)?;
+        span.record("proofs", checks.len() as u64);
+        span.record("edges", report.transform_edges as u64);
         for (vk, publics, proof, what) in &checks {
             if !Plonk::verify(vk, publics, proof) {
                 return Err(ZkdetError::ProofInvalid(what));
@@ -666,7 +706,9 @@ impl Marketplace {
         token: TokenId,
         rng: &mut R,
     ) -> Result<ProvenanceReport, ZkdetError> {
+        let mut span = zkdet_telemetry::span("market.audit_batched");
         let (checks, report) = self.collect_audit_checks(token, rng)?;
+        span.record("proofs", checks.len() as u64);
         let items: Vec<(&VerifyingKey, &[Fr], &Proof)> = checks
             .iter()
             .map(|(vk, publics, proof, _)| (&**vk, publics.as_slice(), proof))

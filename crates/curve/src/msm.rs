@@ -71,6 +71,10 @@ pub fn msm<C: CurveParams>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C>
         scalars.len(),
         "msm: bases and scalars must have equal length"
     );
+    if zkdet_telemetry::is_enabled() {
+        zkdet_telemetry::counter_add("zkdet.curve.msm.calls", 1);
+        zkdet_telemetry::observe("zkdet.curve.msm.terms", bases.len() as u64);
+    }
     if bases.is_empty() {
         return Projective::identity();
     }
@@ -188,6 +192,10 @@ pub fn fixed_base_batch_mul<C: CurveParams>(
     base: &Projective<C>,
     scalars: &[Fr],
 ) -> Vec<Projective<C>> {
+    if zkdet_telemetry::is_enabled() {
+        zkdet_telemetry::counter_add("zkdet.curve.fixed_base.calls", 1);
+        zkdet_telemetry::observe("zkdet.curve.fixed_base.terms", scalars.len() as u64);
+    }
     const WINDOW: usize = 8;
     let num_windows = 254usize.div_ceil(WINDOW);
     // table[w][d-1] = d · 2^(8w) · base

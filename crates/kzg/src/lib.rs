@@ -100,6 +100,8 @@ impl Srs {
     /// The toxic waste `τ` is sampled from `rng` and dropped before this
     /// function returns (ceremony substitute — see crate docs).
     pub fn universal_setup<R: Rng + ?Sized>(max_degree: usize, rng: &mut R) -> Srs {
+        let mut span = zkdet_telemetry::span("kzg.setup");
+        span.record("degree", max_degree as u64);
         let tau = Fr::random(rng);
         let mut powers = Vec::with_capacity(max_degree + 1);
         let mut acc = Fr::ONE;
@@ -144,6 +146,10 @@ impl Srs {
     /// Commits to a polynomial, reporting degree overflow as a typed error
     /// instead of panicking.
     pub fn try_commit(&self, p: &DensePolynomial) -> Result<KzgCommitment, KzgError> {
+        if zkdet_telemetry::is_enabled() {
+            zkdet_telemetry::counter_add("zkdet.kzg.commit.calls", 1);
+            zkdet_telemetry::observe("zkdet.kzg.commit.degree", p.degree() as u64);
+        }
         if p.is_zero() {
             return Ok(KzgCommitment(G1Affine::identity()));
         }
@@ -159,12 +165,14 @@ impl Srs {
 
     /// Opens `p` at `z`: returns `(p(z), W)` with `W = [(p(X)-p(z))/(X-z)]₁`.
     pub fn open(&self, p: &DensePolynomial, z: &Fr) -> (Fr, KzgProof) {
+        zkdet_telemetry::counter_add("zkdet.kzg.open.calls", 1);
         let (quotient, value) = p.divide_by_linear(*z);
         (value, KzgProof(self.commit(&quotient).0))
     }
 
     /// Verifies a single opening: `e(C - y·G₁, G₂) = e(W, τ·G₂ - z·G₂)`.
     pub fn verify(&self, c: &KzgCommitment, z: &Fr, y: &Fr, proof: &KzgProof) -> bool {
+        zkdet_telemetry::counter_add("zkdet.kzg.verify.calls", 1);
         // Rearranged to one multi-pairing: e(C - yG₁ + zW, G₂)·e(-W, τG₂) = 1
         let lhs =
             (c.0.to_projective() - G1Projective::generator() * *y + proof.0 * *z).to_affine();
@@ -185,6 +193,7 @@ impl Srs {
         proofs: &[KzgProof],
         r: Fr,
     ) -> bool {
+        zkdet_telemetry::counter_add("zkdet.kzg.batch_verify.calls", 1);
         if commitments.len() != values.len() || commitments.len() != proofs.len() {
             return false;
         }

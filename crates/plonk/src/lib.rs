@@ -86,6 +86,7 @@ impl Plonk {
     /// Verifies a proof against the public inputs. Constant-time in the
     /// circuit size (up to the `O(ℓ)` public-input folding).
     pub fn verify(vk: &VerifyingKey, public_inputs: &[zkdet_field::Fr], proof: &Proof) -> bool {
+        zkdet_telemetry::counter_add("zkdet.plonk.verify.calls", 1);
         verifier::verify(vk, public_inputs, proof)
     }
 

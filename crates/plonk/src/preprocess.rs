@@ -267,7 +267,12 @@ pub(crate) fn preprocess(
         });
     }
 
+    let mut pre_span = zkdet_telemetry::span("plonk.preprocess");
+    pre_span.record("n", n as u64);
+    pre_span.record("public_inputs", circuit.num_public_inputs as u64);
+
     // Selector columns → polynomials.
+    let phase_span = zkdet_telemetry::span("plonk.preprocess.selectors");
     let col =
         |f: fn(&crate::builder::Selectors) -> Fr| -> Vec<Fr> { circuit.selectors.iter().map(f).collect() };
     let q_cols = [
@@ -279,7 +284,9 @@ pub(crate) fn preprocess(
     ];
     let q_polys: [DensePolynomial; 5] =
         q_cols.map(|c| DensePolynomial::from_coefficients(domain.ifft(&c)));
+    drop(phase_span);
 
+    let phase_span = zkdet_telemetry::span("plonk.preprocess.permutation");
     // Copy permutation: slot (col j, row i) carries id value k_j·ωⁱ; σ maps
     // each slot to the next slot of the same variable's copy class.
     let k = [Fr::ONE, coset_k1(), coset_k2()];
@@ -306,7 +313,10 @@ pub(crate) fn preprocess(
         DensePolynomial::from_coefficients(domain.ifft(&sigma_vals[2])),
     ];
 
+    drop(phase_span);
+
     // Extended coset evaluations for the quotient round.
+    let phase_span = zkdet_telemetry::span("plonk.preprocess.coset_ext");
     let ext = |p: &DensePolynomial| -> Vec<Fr> { domain4.coset_fft(p.coefficients()) };
     let q_ext = [
         ext(&q_polys[0]),
@@ -326,7 +336,9 @@ pub(crate) fn preprocess(
     l1_evals[0] = Fr::ONE;
     let l1_poly = DensePolynomial::from_coefficients(domain.ifft(&l1_evals));
     let l1_ext = ext(&l1_poly);
+    drop(phase_span);
 
+    let phase_span = zkdet_telemetry::span("plonk.preprocess.vk_commit");
     let vk = VerifyingKey {
         n,
         num_public_inputs: circuit.num_public_inputs,
@@ -341,6 +353,8 @@ pub(crate) fn preprocess(
         g2: srs.g2,
         tau_g2: srs.tau_g2,
     };
+    drop(phase_span);
+    drop(pre_span);
 
     Ok((
         ProvingKey {

@@ -79,9 +79,15 @@ pub(crate) fn prove<R: Rng + ?Sized>(
     let public_inputs = circuit.public_values().to_vec();
     let (k1, k2) = (coset_k1(), coset_k2());
 
+    let mut prove_span = zkdet_telemetry::span("plonk.prove");
+    prove_span.record("n", n as u64);
+    prove_span.record("public_inputs", ell as u64);
+    zkdet_telemetry::counter_add("zkdet.plonk.prove.calls", 1);
+
     let mut transcript = init_transcript(&pk.vk, &public_inputs);
 
     // ---- Round 1: wire polynomials -------------------------------------
+    let round_span = zkdet_telemetry::span("plonk.prove.round1.wires");
     let (a_vals, b_vals, c_vals) = circuit.wire_values();
     let blind = |vals: &[Fr], rng: &mut R, domain: &zkdet_poly::EvaluationDomain| {
         let base = DensePolynomial::from_coefficients(domain.ifft(vals));
@@ -115,8 +121,10 @@ pub(crate) fn prove<R: Rng + ?Sized>(
     transcript.absorb_g1(b"c", &c_c.0);
     let beta = transcript.challenge_fr(b"beta");
     let gamma = transcript.challenge_fr(b"gamma");
+    drop(round_span);
 
     // ---- Round 2: permutation product z ---------------------------------
+    let round_span = zkdet_telemetry::span("plonk.prove.round2.permutation");
     let omegas = domain.elements();
     let mut denominators = Vec::with_capacity(n);
     let mut numerators = Vec::with_capacity(n);
@@ -148,8 +156,11 @@ pub(crate) fn prove<R: Rng + ?Sized>(
     let z_c = commit_checked(srs, &z_poly)?;
     transcript.absorb_g1(b"z", &z_c.0);
     let alpha = transcript.challenge_fr(b"alpha");
+    drop(round_span);
 
     // ---- Round 3: quotient ----------------------------------------------
+    let mut round_span = zkdet_telemetry::span("plonk.prove.round3.quotient");
+    round_span.record("coset_size", 4 * n as u64);
     // Public-input polynomial: PI(ωⁱ) = -xᵢ for i < ℓ.
     let mut pi_vals = vec![Fr::ZERO; n];
     for (i, x) in public_inputs.iter().enumerate() {
@@ -283,8 +294,10 @@ pub(crate) fn prove<R: Rng + ?Sized>(
     transcript.absorb_g1(b"t_mid", &t_mid_c.0);
     transcript.absorb_g1(b"t_hi", &t_hi_c.0);
     let zeta = transcript.challenge_fr(b"zeta");
+    drop(round_span);
 
     // ---- Round 4: evaluations -------------------------------------------
+    let round_span = zkdet_telemetry::span("plonk.prove.round4.evaluations");
     let a_eval = a_poly.evaluate(&zeta);
     let b_eval = b_poly.evaluate(&zeta);
     let c_eval = c_poly.evaluate(&zeta);
@@ -297,8 +310,10 @@ pub(crate) fn prove<R: Rng + ?Sized>(
         &[a_eval, b_eval, c_eval, sigma1_eval, sigma2_eval, z_omega_eval],
     );
     let v = transcript.challenge_fr(b"v");
+    drop(round_span);
 
     // ---- Round 5: linearisation and openings -----------------------------
+    let round_span = zkdet_telemetry::span("plonk.prove.round5.openings");
     let zeta_n = zeta.pow(&[n as u64, 0, 0, 0]);
     let zh_zeta = zeta_n - Fr::ONE;
     let l1_zeta = zh_zeta
@@ -360,8 +375,9 @@ pub(crate) fn prove<R: Rng + ?Sized>(
     transcript.absorb_g1(b"w_zeta", &w_zeta.0);
     transcript.absorb_g1(b"w_zeta_omega", &w_zeta_omega.0);
     let _u = transcript.challenge_fr(b"u"); // consumed by the verifier
+    drop(round_span);
+    drop(prove_span);
 
-    let _ = ell;
     Ok(Proof {
         a: a_c,
         b: b_c,

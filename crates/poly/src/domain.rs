@@ -124,6 +124,17 @@ impl EvaluationDomain {
         }
     }
 
+    /// Telemetry hook shared by the four transform entry points: bumps the
+    /// per-kind call counter and the shared size histogram. One relaxed
+    /// atomic load when telemetry is off.
+    #[inline]
+    fn note_transform(&self, counter: &'static str) {
+        if zkdet_telemetry::is_enabled() {
+            zkdet_telemetry::counter_add(counter, 1);
+            zkdet_telemetry::observe("zkdet.poly.fft.size", self.size as u64);
+        }
+    }
+
     /// Evaluates a coefficient vector on the domain.
     pub fn fft(&self, coeffs: &[Fr]) -> Vec<Fr> {
         assert!(
@@ -132,6 +143,7 @@ impl EvaluationDomain {
             coeffs.len(),
             self.size
         );
+        self.note_transform("zkdet.poly.fft.calls");
         let mut a = coeffs.to_vec();
         self.fft_in_place(&mut a, self.group_gen);
         a
@@ -140,6 +152,7 @@ impl EvaluationDomain {
     /// Interpolates evaluations on the domain back to coefficients.
     pub fn ifft(&self, evals: &[Fr]) -> Vec<Fr> {
         assert!(evals.len() <= self.size);
+        self.note_transform("zkdet.poly.ifft.calls");
         let mut a = evals.to_vec();
         self.fft_in_place(&mut a, self.group_gen_inv);
         for x in a.iter_mut() {
@@ -150,6 +163,7 @@ impl EvaluationDomain {
 
     /// Evaluates a coefficient vector on the coset `g·⟨ω⟩`.
     pub fn coset_fft(&self, coeffs: &[Fr]) -> Vec<Fr> {
+        self.note_transform("zkdet.poly.coset_fft.calls");
         let mut a = coeffs.to_vec();
         let mut shift = Fr::ONE;
         for c in a.iter_mut() {
@@ -161,7 +175,9 @@ impl EvaluationDomain {
     }
 
     /// Interpolates evaluations on the coset `g·⟨ω⟩` back to coefficients.
+    /// (Counts as one `coset_ifft` and, internally, one `ifft`.)
     pub fn coset_ifft(&self, evals: &[Fr]) -> Vec<Fr> {
+        self.note_transform("zkdet.poly.coset_ifft.calls");
         let mut a = self.ifft(evals);
         let mut shift = Fr::ONE;
         for c in a.iter_mut() {

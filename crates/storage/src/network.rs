@@ -178,6 +178,12 @@ impl StorageNetwork {
     /// `K_REPLICATION` closest nodes. Returns the URI (= CID).
     pub fn publish(&self, owner: PinOwner, data: impl Into<Bytes>) -> Cid {
         let data = data.into();
+        let mut span = zkdet_telemetry::span("storage.publish");
+        if span.is_recording() {
+            span.record("bytes", data.len() as u64);
+            zkdet_telemetry::counter_add("zkdet.storage.publish.calls", 1);
+            zkdet_telemetry::counter_add("zkdet.storage.publish.bytes", data.len() as u64);
+        }
         let cid = Cid::from_bytes(&data);
         let mut inner = self.inner.write();
         let mut ids: Vec<NodeId> = inner.nodes.keys().copied().collect();
@@ -219,6 +225,10 @@ impl StorageNetwork {
     /// views. Taken whenever the installed fault plan is inert so that a
     /// fault-free network is indistinguishable from the original code.
     fn retrieve_plain(&self, cid: &Cid) -> Result<(Bytes, RetrievalStats), StorageError> {
+        if zkdet_telemetry::is_enabled() {
+            zkdet_telemetry::counter_add("zkdet.storage.retrieve.calls", 1);
+            zkdet_telemetry::counter_add("zkdet.storage.retrieve.attempts", 1);
+        }
         let inner = self.inner.read();
         // Entry node: the lexicographically first (deterministic).
         let mut current = *inner
@@ -274,6 +284,7 @@ impl StorageNetwork {
         cid: &Cid,
         policy: &RetrievalPolicy,
     ) -> Result<(Bytes, RetrievalStats), StorageError> {
+        let mut span = zkdet_telemetry::span("storage.retrieve");
         let mut inner = self.inner.write();
         let mut hedges = 0u32;
         let mut quarantined = 0u32;
@@ -283,17 +294,16 @@ impl StorageNetwork {
         for attempt in 0..budget {
             match lookup_once(&mut inner, cid, policy, &mut hedges, &mut quarantined) {
                 Ok((bytes, served_by, hops)) => {
-                    return Ok((
-                        bytes,
-                        RetrievalStats {
-                            hops,
-                            served_by,
-                            attempts: attempt + 1,
-                            hedges,
-                            quarantined,
-                            backoff_ticks: backoff_total,
-                        },
-                    ));
+                    let stats = RetrievalStats {
+                        hops,
+                        served_by,
+                        attempts: attempt + 1,
+                        hedges,
+                        quarantined,
+                        backoff_ticks: backoff_total,
+                    };
+                    note_retrieval(&mut span, &stats, true);
+                    return Ok((bytes, stats));
                 }
                 Err(err) => {
                     let transient = err.is_transient();
@@ -311,6 +321,15 @@ impl StorageNetwork {
                 }
             }
         }
+        let stats = RetrievalStats {
+            hops: 0,
+            served_by: NodeId([0u8; 32]),
+            attempts: budget,
+            hedges,
+            quarantined,
+            backoff_ticks: backoff_total,
+        };
+        note_retrieval(&mut span, &stats, false);
         Err(last_err)
     }
 
@@ -361,6 +380,38 @@ impl StorageNetwork {
     #[doc(hidden)]
     pub fn corrupt_block(&self, cid: &Cid) {
         self.inner.write().corrupted.push(*cid);
+    }
+}
+
+/// Feeds one finished retrieval into telemetry: span fields mirroring
+/// [`RetrievalStats`] plus the shared `zkdet.storage.*` counters. No-op
+/// (one atomic load) when telemetry is off.
+fn note_retrieval(
+    span: &mut zkdet_telemetry::SpanGuard<'_>,
+    stats: &RetrievalStats,
+    ok: bool,
+) {
+    if !span.is_recording() && !zkdet_telemetry::is_enabled() {
+        return;
+    }
+    span.record("attempts", u64::from(stats.attempts));
+    span.record("hedges", u64::from(stats.hedges));
+    span.record("quarantined", u64::from(stats.quarantined));
+    span.record("backoff_ticks", stats.backoff_ticks);
+    span.record("ok", u64::from(ok));
+    zkdet_telemetry::counter_add("zkdet.storage.retrieve.calls", 1);
+    zkdet_telemetry::counter_add(
+        "zkdet.storage.retrieve.attempts",
+        u64::from(stats.attempts),
+    );
+    zkdet_telemetry::counter_add("zkdet.storage.retrieve.hedges", u64::from(stats.hedges));
+    zkdet_telemetry::counter_add(
+        "zkdet.storage.retrieve.quarantined",
+        u64::from(stats.quarantined),
+    );
+    zkdet_telemetry::counter_add("zkdet.storage.backoff.ticks", stats.backoff_ticks);
+    if !ok {
+        zkdet_telemetry::counter_add("zkdet.storage.retrieve.failures", 1);
     }
 }
 

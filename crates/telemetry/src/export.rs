@@ -1,0 +1,266 @@
+//! Exporters: a human-readable span tree and metrics summary for the
+//! examples, and a stable JSON form for `BENCH_*.json` artefacts.
+
+use crate::json::Value;
+use crate::metrics::HistogramSnapshot;
+use crate::recorder::SpanRecord;
+
+/// Point-in-time copy of everything a recorder + registry hold.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Finished spans, in open order.
+    pub spans: Vec<SpanRecord>,
+    /// Counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Stable JSON form of the snapshot.
+    ///
+    /// Spans keep open order; counters/histograms are name-sorted; objects
+    /// preserve key order — so two identical runs produce byte-identical
+    /// output (see the determinism proptest).
+    pub fn to_json(&self) -> Value {
+        let spans: Vec<Value> = self
+            .spans
+            .iter()
+            .map(|s| {
+                let mut fields = Value::object();
+                for (k, v) in &s.fields {
+                    fields.set(k, *v);
+                }
+                Value::object()
+                    .with("id", s.id)
+                    .with(
+                        "parent",
+                        s.parent.map_or(Value::Null, Value::UInt),
+                    )
+                    .with("name", s.name)
+                    .with("start_ns", s.start)
+                    .with("duration_ns", s.duration)
+                    .with("fields", fields)
+            })
+            .collect();
+        let mut counters = Value::object();
+        for (name, value) in &self.counters {
+            counters.set(name, *value);
+        }
+        let mut histograms = Value::object();
+        for (name, h) in &self.histograms {
+            histograms.set(
+                name,
+                Value::object()
+                    .with(
+                        "bounds",
+                        h.bounds.iter().map(|b| Value::UInt(*b)).collect::<Vec<_>>(),
+                    )
+                    .with(
+                        "counts",
+                        h.counts.iter().map(|c| Value::UInt(*c)).collect::<Vec<_>>(),
+                    )
+                    .with("count", h.count)
+                    .with("sum", h.sum),
+            );
+        }
+        Value::object()
+            .with("spans", spans)
+            .with("counters", counters)
+            .with("histograms", histograms)
+    }
+}
+
+/// Formats a span duration for human output. Wall-mode spans carry
+/// nanoseconds; manual-mode spans carry ticks, which render as `N ticks`
+/// when `ticks` is true.
+fn fmt_duration(value: u64, ticks: bool) -> String {
+    if ticks {
+        return format!("{value} ticks");
+    }
+    if value >= 1_000_000_000 {
+        format!("{:.3}s", value as f64 / 1e9)
+    } else if value >= 1_000_000 {
+        format!("{:.3}ms", value as f64 / 1e6)
+    } else if value >= 1_000 {
+        format!("{:.3}µs", value as f64 / 1e3)
+    } else {
+        format!("{value}ns")
+    }
+}
+
+/// Renders finished spans as an indented tree.
+///
+/// Children appear under their parent in open order; spans whose parent
+/// finished on another thread (or was never recorded) show as roots.
+pub fn render_tree(spans: &[SpanRecord], ticks: bool) -> String {
+    let mut by_parent: Vec<(Option<u64>, usize)> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.parent, i))
+        .collect();
+    // Parents may be missing if a root's guard is still open; treat those
+    // children as roots.
+    let known: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    for entry in &mut by_parent {
+        if let Some(p) = entry.0 {
+            if !known.contains(&p) {
+                entry.0 = None;
+            }
+        }
+    }
+    let mut out = String::new();
+    fn emit(
+        out: &mut String,
+        spans: &[SpanRecord],
+        by_parent: &[(Option<u64>, usize)],
+        parent: Option<u64>,
+        depth: usize,
+        ticks: bool,
+    ) {
+        for (p, idx) in by_parent {
+            if *p != parent {
+                continue;
+            }
+            let s = &spans[*idx];
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(s.name);
+            out.push_str("  ");
+            out.push_str(&fmt_duration(s.duration, ticks));
+            for (k, v) in &s.fields {
+                out.push_str(&format!("  {k}={v}"));
+            }
+            out.push('\n');
+            emit(out, spans, by_parent, Some(s.id), depth + 1, ticks);
+        }
+    }
+    emit(&mut out, spans, &by_parent, None, 0, ticks);
+    out
+}
+
+/// Renders counters and histograms as an aligned, name-sorted summary.
+pub fn render_summary(
+    counters: &[(String, u64)],
+    histograms: &[(String, HistogramSnapshot)],
+) -> String {
+    let mut out = String::new();
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        let width = counters.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (name, value) in counters {
+            out.push_str(&format!("  {name:<width$}  {value}\n"));
+        }
+    }
+    if !histograms.is_empty() {
+        out.push_str("histograms:\n");
+        let width = histograms.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (name, h) in histograms {
+            out.push_str(&format!(
+                "  {name:<width$}  count={} sum={} mean={}\n",
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no telemetry recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &'static str, dur: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            start: 0,
+            duration: dur,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tree_indents_children() {
+        let spans = vec![
+            span(1, None, "root", 10),
+            span(2, Some(1), "child", 4),
+            span(3, Some(2), "grandchild", 1),
+            span(4, None, "root2", 2),
+        ];
+        let tree = render_tree(&spans, true);
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines[0], "root  10 ticks");
+        assert_eq!(lines[1], "  child  4 ticks");
+        assert_eq!(lines[2], "    grandchild  1 ticks");
+        assert_eq!(lines[3], "root2  2 ticks");
+    }
+
+    #[test]
+    fn orphan_spans_render_as_roots() {
+        let spans = vec![span(2, Some(99), "orphan", 1)];
+        let tree = render_tree(&spans, true);
+        assert_eq!(tree, "orphan  1 ticks\n");
+    }
+
+    #[test]
+    fn summary_lists_counters_and_histograms() {
+        let counters = vec![("zkdet.a".to_string(), 3u64)];
+        let histograms = vec![(
+            "zkdet.h".to_string(),
+            HistogramSnapshot {
+                bounds: vec![1, 2],
+                counts: vec![1, 0, 1],
+                count: 2,
+                sum: 5,
+            },
+        )];
+        let s = render_summary(&counters, &histograms);
+        assert!(s.contains("zkdet.a"));
+        assert!(s.contains("count=2 sum=5 mean=2"));
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let snap = Snapshot {
+            spans: vec![SpanRecord {
+                id: 1,
+                parent: None,
+                name: "s",
+                start: 3,
+                duration: 4,
+                fields: vec![("bytes", 9)],
+            }],
+            counters: vec![("c".to_string(), 1)],
+            histograms: vec![(
+                "h".to_string(),
+                HistogramSnapshot {
+                    bounds: vec![1],
+                    counts: vec![1, 0],
+                    count: 1,
+                    sum: 1,
+                },
+            )],
+        };
+        let json = snap.to_json();
+        let spans = json.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("s"));
+        assert_eq!(
+            spans[0].get("fields").unwrap().get("bytes").unwrap().as_u64(),
+            Some(9)
+        );
+        assert_eq!(json.get("counters").unwrap().get("c").unwrap().as_u64(), Some(1));
+        let h = json.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
+        // Round-trip through the parser is the identity on the encoding.
+        let text = json.encode();
+        assert_eq!(crate::json::Value::parse(&text).unwrap().encode(), text);
+    }
+}

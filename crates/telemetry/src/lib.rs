@@ -1,0 +1,170 @@
+//! # zkdet-telemetry
+//!
+//! First-party observability for the ZKDET stack: hierarchical spans, a
+//! registry of counters and histograms, and stable text/JSON exporters.
+//! No external dependencies beyond the workspace's offline shims.
+//!
+//! ## Global vs. local
+//!
+//! Instrumented library code calls the free functions here ([`span`],
+//! [`counter_add`], [`observe`]). They route to a process-global
+//! [`Telemetry`] instance that is **disabled by default**: when off, each
+//! call is one relaxed atomic load and an early return, so hot paths
+//! (MSM, FFT, KZG commits) stay effectively free. Bench binaries and the
+//! examples call [`enable`] up front and [`snapshot`] at the end.
+//!
+//! Tests that need isolation construct their own [`Recorder`] /
+//! [`Registry`] and bypass the global entirely.
+//!
+//! Span and metric naming follows DESIGN.md §10: spans are
+//! `<crate>.<operation>[.<phase>]` (e.g. `plonk.prove.round3.quotient`),
+//! metrics are `zkdet.<crate>.<unit>` (e.g. `zkdet.kzg.commit.calls`).
+
+mod export;
+mod json;
+mod metrics;
+mod recorder;
+
+pub use export::{render_summary, render_tree, Snapshot};
+pub use json::{JsonError, Value};
+pub use metrics::{Histogram, HistogramSnapshot, Registry};
+pub use recorder::{Recorder, SpanGuard, SpanRecord};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// A recorder/registry pair — the unit the global instance is made of.
+#[derive(Default)]
+pub struct Telemetry {
+    /// Span recorder.
+    pub recorder: Recorder,
+    /// Metrics registry.
+    pub registry: Registry,
+}
+
+impl Telemetry {
+    /// A fresh wall-clock telemetry instance.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Snapshot of spans + metrics.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            spans: self.recorder.finished_spans(),
+            counters: self.registry.counters_snapshot(),
+            histograms: self.registry.histograms_snapshot(),
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+/// The process-global telemetry instance (created on first touch).
+pub fn global() -> &'static Telemetry {
+    GLOBAL.get_or_init(Telemetry::new)
+}
+
+/// True when global telemetry is collecting. One relaxed load — this is
+/// the entire cost instrumented hot paths pay while telemetry is off.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns global collection on.
+pub fn enable() {
+    global(); // materialise before flipping the flag
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns global collection off (recorded data is kept).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Opens a span on the global recorder; a no-op guard when disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard<'static> {
+    if is_enabled() {
+        global().recorder.span(name)
+    } else {
+        SpanGuard::disabled()
+    }
+}
+
+/// Adds `delta` to a global counter; no-op when disabled.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if is_enabled() {
+        global().registry.counter_add(name, delta);
+    }
+}
+
+/// Records one observation into a global histogram; no-op when disabled.
+#[inline]
+pub fn observe(name: &str, value: u64) {
+    if is_enabled() {
+        global().registry.observe(name, value);
+    }
+}
+
+/// Snapshot of the global instance (works whether or not enabled).
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Clears all globally recorded spans and zeroes all metrics.
+pub fn reset() {
+    let g = global();
+    g.recorder.reset();
+    g.registry.reset();
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    // Global-state tests live in one #[test] so parallel test threads
+    // can't race on the enable flag.
+    #[test]
+    fn global_gate_controls_collection() {
+        assert!(!is_enabled());
+        // Disabled: nothing is recorded.
+        {
+            let mut g = span("ignored");
+            g.record("x", 1);
+            assert!(!g.is_recording());
+        }
+        counter_add("zkdet.test.off", 1);
+        observe("zkdet.test.off.h", 1);
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert_eq!(snap.counters, vec![]);
+
+        enable();
+        {
+            let mut g = span("recorded");
+            g.record("x", 1);
+            assert!(g.is_recording());
+        }
+        counter_add("zkdet.test.on", 2);
+        observe("zkdet.test.on.h", 3);
+        disable();
+
+        let snap = snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "recorded");
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(k, v)| k == "zkdet.test.on" && *v == 2));
+
+        reset();
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.iter().all(|(_, v)| *v == 0));
+    }
+}

@@ -1,0 +1,251 @@
+//! Named counters and fixed-bucket histograms.
+//!
+//! The [`Registry`] maps metric names to atomically-updated values. Names
+//! follow the `zkdet.<crate>.<unit>` convention (DESIGN.md §10). Handles
+//! are `Arc`-shared, so a hot path can resolve a name once and then pay
+//! only an atomic add per event; the convenience by-name methods take a
+//! read lock plus a hash lookup, which is still far off any inner loop.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Default histogram buckets: powers of two from 1 to 2^32. Wide enough
+/// for ns timings, byte sizes, gas, and constraint counts alike.
+fn default_bounds() -> Vec<u64> {
+    (0..=32).map(|i| 1u64 << i).collect()
+}
+
+/// A fixed-bucket histogram with inclusive upper bounds.
+///
+/// `counts` has one slot per bound plus a final overflow slot for values
+/// above the last bound.
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds (must be sorted
+    /// ascending; duplicates are tolerated but pointless).
+    pub fn new(bounds: Vec<u64>) -> Self {
+        let slots = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|b| *b < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; last entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A registry of named counters and histograms.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Resolves (creating on first use) the counter handle for `name`.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of the named counter (0 if it was never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Resolves (creating with default power-of-two buckets) the histogram
+    /// handle for `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with_bounds(name, default_bounds)
+    }
+
+    /// Resolves the histogram for `name`, creating it with `bounds()` if
+    /// absent. Bounds of an existing histogram are never changed.
+    pub fn histogram_with_bounds(
+        &self,
+        name: &str,
+        bounds: impl FnOnce() -> Vec<u64>,
+    ) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds()))),
+        )
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.histogram(name).observe(value);
+    }
+
+    /// Name-sorted snapshot of all counters.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Name-sorted snapshot of all histograms.
+    pub fn histograms_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        let mut out: Vec<(String, HistogramSnapshot)> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Zeroes every counter and histogram in place, keeping registrations
+    /// (and any `Arc` handles hot paths already resolved).
+    pub fn reset(&self) {
+        for c in self.counters.read().values() {
+            c.store(0, Ordering::Relaxed);
+        }
+        for h in self.histograms.read().values() {
+            for slot in &h.counts {
+                slot.store(0, Ordering::Relaxed);
+            }
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.counter_add("zkdet.test.calls", 1);
+        r.counter_add("zkdet.test.calls", 2);
+        assert_eq!(r.counter_value("zkdet.test.calls"), 3);
+        assert_eq!(r.counter_value("zkdet.test.other"), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let h = Histogram::new(vec![10, 100]);
+        h.observe(10); // first bucket: value <= 10
+        h.observe(11); // second bucket
+        h.observe(100); // second bucket (inclusive)
+        h.observe(101); // overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 2, 1]);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 222);
+        assert_eq!(snap.mean(), 55);
+    }
+
+    #[test]
+    fn zero_lands_in_first_bucket() {
+        let h = Histogram::new(default_bounds());
+        h.observe(0);
+        h.observe(1);
+        assert_eq!(h.snapshot().counts[0], 2);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let r = Registry::new();
+        r.counter_add("b", 1);
+        r.counter_add("a", 1);
+        let snap = r.counters_snapshot();
+        let names: Vec<&str> = snap.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registrations() {
+        let r = Registry::new();
+        r.counter_add("c", 5);
+        r.observe("h", 9);
+        r.reset();
+        assert_eq!(r.counter_value("c"), 0);
+        let hists = r.histograms_snapshot();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].1.count, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Recorder output is a pure function of the op sequence when driven by
+//! the storage layer's deterministic tick clock, and the JSON exporter is
+//! a fixed point under parse/encode.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use zkdet_telemetry::{Recorder, Registry, Snapshot, Value};
+
+/// One scripted telemetry operation, replayable against any recorder.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Open a span (name index), advance ticks, attach a field, close it.
+    Span { name: u8, ticks: u64, field: u64 },
+    /// Open a span, run a nested child inside it.
+    Nested { name: u8, inner: u8, ticks: u64 },
+    /// Advance the tick clock between spans.
+    Advance(u64),
+    /// Bump a counter.
+    Count { name: u8, delta: u64 },
+    /// Record a histogram observation.
+    Observe { name: u8, value: u64 },
+}
+
+const SPAN_NAMES: [&str; 4] = [
+    "storage.publish",
+    "storage.retrieve",
+    "exchange.settle",
+    "plonk.prove",
+];
+const METRIC_NAMES: [&str; 3] = [
+    "zkdet.storage.retrieve.attempts",
+    "zkdet.storage.retrieve.hedges",
+    "zkdet.chain.gas.total",
+];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Decode one u64 into an op; crude but deterministic and shrink-free,
+    // matching the shim's capabilities.
+    any::<u64>().prop_map(|raw| {
+        let kind = raw % 5;
+        let a = (raw >> 3) as u8 % 4;
+        let b = (raw >> 11) as u8 % 4;
+        let small = (raw >> 17) % 1000;
+        match kind {
+            0 => Op::Span {
+                name: a,
+                ticks: small,
+                field: raw >> 32,
+            },
+            1 => Op::Nested {
+                name: a,
+                inner: b,
+                ticks: small,
+            },
+            2 => Op::Advance(small),
+            3 => Op::Count {
+                name: a % 3,
+                delta: small,
+            },
+            _ => Op::Observe {
+                name: a % 3,
+                value: raw >> 24,
+            },
+        }
+    })
+}
+
+/// Replays `ops` on a fresh manual-clock recorder + registry and exports
+/// the snapshot as compact JSON.
+fn replay(ops: &[Op]) -> String {
+    let recorder = Recorder::with_manual_clock();
+    let registry = Registry::new();
+    for op in ops {
+        match op {
+            Op::Span { name, ticks, field } => {
+                let mut s = recorder.span(SPAN_NAMES[*name as usize]);
+                s.record("value", *field);
+                recorder.advance_ticks(*ticks);
+            }
+            Op::Nested { name, inner, ticks } => {
+                let _outer = recorder.span(SPAN_NAMES[*name as usize]);
+                recorder.advance_ticks(*ticks);
+                {
+                    let _child = recorder.span(SPAN_NAMES[*inner as usize]);
+                    recorder.advance_ticks(*ticks / 2);
+                }
+            }
+            Op::Advance(ticks) => recorder.advance_ticks(*ticks),
+            Op::Count { name, delta } => {
+                registry.counter_add(METRIC_NAMES[*name as usize], *delta);
+            }
+            Op::Observe { name, value } => {
+                registry.observe(METRIC_NAMES[*name as usize], *value);
+            }
+        }
+    }
+    Snapshot {
+        spans: recorder.finished_spans(),
+        counters: registry.counters_snapshot(),
+        histograms: registry.histograms_snapshot(),
+    }
+    .to_json()
+    .encode()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn replay_is_deterministic(ops in vec(op_strategy(), 1..40)) {
+        let first = replay(&ops);
+        let second = replay(&ops);
+        prop_assert_eq!(&first, &second);
+        // And the export survives a parse/encode round trip untouched.
+        let reparsed = Value::parse(&first).unwrap().encode();
+        prop_assert_eq!(reparsed, first);
+    }
+
+    #[test]
+    fn exporter_roundtrip_on_replay_output(ops in vec(op_strategy(), 1..20)) {
+        let text = replay(&ops);
+        let value = Value::parse(&text).unwrap();
+        // Structure sanity: the three top-level sections exist.
+        prop_assert!(value.get("spans").is_some());
+        prop_assert!(value.get("counters").is_some());
+        prop_assert!(value.get("histograms").is_some());
+        // Every span duration fits inside its parent in manual-clock mode.
+        let spans = value.get("spans").unwrap().as_array().unwrap().to_vec();
+        for s in &spans {
+            let parent = s.get("parent").unwrap();
+            if let Some(pid) = parent.as_u64() {
+                let p = spans
+                    .iter()
+                    .find(|c| c.get("id").unwrap().as_u64() == Some(pid))
+                    .unwrap();
+                let p_start = p.get("start_ns").unwrap().as_u64().unwrap();
+                let p_end = p_start + p.get("duration_ns").unwrap().as_u64().unwrap();
+                let c_start = s.get("start_ns").unwrap().as_u64().unwrap();
+                let c_end = c_start + s.get("duration_ns").unwrap().as_u64().unwrap();
+                prop_assert!(p_start <= c_start && c_end <= p_end);
+            }
+        }
+    }
+}
+
+#[test]
+fn tick_clock_spans_report_exact_tick_durations() {
+    let recorder = Recorder::with_manual_clock();
+    {
+        let _retrieve = recorder.span("storage.retrieve");
+        recorder.advance_ticks(17);
+    }
+    recorder.set_ticks(100);
+    {
+        let _publish = recorder.span("storage.publish");
+        recorder.advance_ticks(3);
+    }
+    let spans = recorder.finished_spans();
+    assert_eq!((spans[0].start, spans[0].duration), (0, 17));
+    assert_eq!((spans[1].start, spans[1].duration), (100, 3));
+}

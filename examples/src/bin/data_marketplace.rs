@@ -18,6 +18,7 @@ use zkdet_core::Marketplace;
 use zkdet_examples::{banner, readings};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    zkdet_telemetry::enable();
     let mut rng = StdRng::seed_from_u64(7);
     let mut market = Marketplace::bootstrap(1 << 14, 12, &mut rng)?;
 
@@ -116,5 +117,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  {} hedged replica probes, {} replicas quarantined, {} ticks in backoff",
         rb.hedges, rb.quarantined, rb.backoff_ticks
     );
+
+    banner("telemetry: metrics summary for this run");
+    let snap = zkdet_telemetry::snapshot();
+    print!(
+        "{}",
+        zkdet_telemetry::render_summary(&snap.counters, &snap.histograms)
+    );
+
+    banner("telemetry: span tree of the key-secure exchange");
+    // The exchange spans (and everything nested under them: prover rounds,
+    // KZG openings, storage retrievals) form subtrees rooted at exchange.*.
+    let mut keep = std::collections::HashSet::new();
+    let exchange_spans: Vec<_> = snap
+        .spans
+        .iter()
+        .filter(|s| {
+            let in_subtree = s.name.starts_with("exchange.")
+                || s.parent.is_some_and(|p| keep.contains(&p));
+            if in_subtree {
+                keep.insert(s.id);
+            }
+            in_subtree
+        })
+        .cloned()
+        .collect();
+    print!("{}", zkdet_telemetry::render_tree(&exchange_spans, false));
     Ok(())
 }

@@ -360,7 +360,7 @@ fn inert_fault_plan_changes_nothing() {
     assert_eq!(report.outcome, ExchangeOutcome::Settled);
     assert_eq!(report.data.as_ref(), Some(&x.data));
     assert_eq!(report.recover_attempts, 1);
-    let rb = *x.m.robustness();
+    let rb = x.m.robustness();
     assert_eq!(rb.attempts, rb.retrievals, "one attempt per fetch");
     assert_eq!(rb.hedges, 0);
     assert_eq!(rb.quarantined, 0);
