@@ -1,0 +1,150 @@
+//! **Audit figure** — lineage re-verification cost with the provenance
+//! subsystem (not in the paper, which only reports single-proof times; the
+//! traceability half of the title deserves its own measurement).
+//!
+//! Builds one deep token lineage by cycling aggregation → partition →
+//! duplication, then audits the tip four ways:
+//!
+//! * `serial/cold` — one `Plonk::verify` per lineage proof;
+//! * `batched/cold` — every proof folded into a single pairing check;
+//! * `parallel/cold` — the proofs partitioned across worker threads, one
+//!   folded pairing check per partition;
+//! * `batched/warm` — a re-audit against a warm audit cache: every check
+//!   hits, so no pairing is evaluated at all.
+//!
+//! The interesting ratios are `warm_speedup` (cold serial vs. warm —
+//! re-auditing an already-audited lineage only pays for hashing) and
+//! `parallel_speedup` (cold serial vs. cold parallel — folding wins even
+//! on one core, because T folded checks replace N full verifications).
+//!
+//! Emits `BENCH_fig_audit.json` (schema `zkdet-bench-v1`).
+//!
+//! ```text
+//! cargo run --release -p zkdet-bench --bin fig_audit [--full|--small]
+//! ```
+
+use std::time::Duration;
+
+use zkdet_bench::{bench_rng, fmt_duration, time, BenchReport};
+use zkdet_core::{Dataset, Marketplace};
+use zkdet_field::Fr;
+use zkdet_telemetry::Value;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let small = std::env::args().any(|a| a == "--small");
+    let telemetry_on = zkdet_bench::init_telemetry();
+    let mut rng = bench_rng();
+    // Each cycle appends 4 nodes (aggregate, two partitions, duplicate)
+    // below the two seed originals.
+    let (preset, cycles) = if full {
+        ("full", 50usize)
+    } else if small {
+        ("small", 5)
+    } else {
+        ("default", 25)
+    };
+    let mut report = BenchReport::new("fig_audit");
+    report.meta("preset", preset);
+    report.meta("telemetry", telemetry_on);
+
+    eprintln!("minting {} tokens…", 2 + 4 * cycles);
+    let mut m = Marketplace::bootstrap(1 << 13, 8, &mut rng).expect("bootstrap");
+    let mut alice = m.register();
+    let ds = |vals: &[u64]| Dataset::from_entries(vals.iter().map(|v| Fr::from(*v)).collect());
+    let mut x = m
+        .publish_original(&mut alice, ds(&[1]), &mut rng)
+        .expect("publish");
+    let mut y = m
+        .publish_original(&mut alice, ds(&[2]), &mut rng)
+        .expect("publish");
+    let mut tip = x;
+    for _ in 0..cycles {
+        let agg = m.aggregate(&mut alice, &[x, y], &mut rng).expect("agg");
+        let parts = m
+            .partition(&mut alice, agg, &[1, 1], &mut rng)
+            .expect("partition");
+        let dup = m.duplicate(&mut alice, parts[0], &mut rng).expect("dup");
+        x = dup;
+        y = parts[1];
+        tip = dup;
+    }
+    let nodes = m
+        .chain
+        .nft(&m.nft_addr)
+        .expect("nft")
+        .provenance(tip)
+        .expect("provenance")
+        .len()
+        + 1;
+    report.meta("lineage_nodes", nodes as u64);
+    println!("Audit cost over a {nodes}-node lineage (tip {tip})");
+    println!("{:<16} {:>12} {:>12} {:>12}", "mode", "time", "hits", "misses");
+
+    // Untimed warmup: preprocess every circuit shape the audit needs, so
+    // the timed runs compare verification strategies, not key derivation.
+    m.audit_token(tip, &mut rng).expect("warmup audit");
+
+    let measure = |m: &mut Marketplace,
+                       rng: &mut rand::rngs::StdRng,
+                       report: &mut BenchReport,
+                       mode: &str,
+                       warm: bool,
+                       run: &dyn Fn(&mut Marketplace, &mut rand::rngs::StdRng)|
+     -> Duration {
+        if !warm {
+            m.clear_audit_cache();
+        }
+        let (h0, m0) = (m.audit_cache().hits(), m.audit_cache().misses());
+        let (_, elapsed) = time(|| run(m, rng));
+        let (hits, misses) = (m.audit_cache().hits() - h0, m.audit_cache().misses() - m0);
+        println!(
+            "{mode:<16} {:>12} {hits:>12} {misses:>12}",
+            fmt_duration(elapsed)
+        );
+        report.row(
+            Value::object()
+                .with("mode", mode)
+                .with("micros", elapsed.as_micros() as u64)
+                .with("cache_hits", hits)
+                .with("cache_misses", misses),
+        );
+        elapsed
+    };
+
+    let t_serial = measure(&mut m, &mut rng, &mut report, "serial/cold", false, &|m, r| {
+        m.audit_token(tip, r).expect("serial audit");
+    });
+    let t_batched = measure(&mut m, &mut rng, &mut report, "batched/cold", false, &|m, r| {
+        m.audit_token_batched(tip, r).expect("batched audit");
+    });
+    let t_parallel =
+        measure(&mut m, &mut rng, &mut report, "parallel/cold", false, &|m, r| {
+            m.audit_token_parallel(tip, r).expect("parallel audit");
+        });
+    // The parallel run above left the cache warm: the re-audit hits on
+    // every check and performs zero pairing work.
+    let t_warm = measure(&mut m, &mut rng, &mut report, "batched/warm", true, &|m, r| {
+        m.audit_token_batched(tip, r).expect("warm audit");
+    });
+
+    let ratio = |a: Duration, b: Duration| a.as_secs_f64() / b.as_secs_f64().max(1e-9);
+    let warm_speedup = ratio(t_serial, t_warm);
+    let parallel_speedup = ratio(t_serial, t_parallel);
+    let batched_speedup = ratio(t_serial, t_batched);
+    println!(
+        "speedups vs serial/cold: warm {warm_speedup:.1}x, parallel {parallel_speedup:.1}x, batched {batched_speedup:.1}x"
+    );
+    report.meta("warm_speedup", format!("{warm_speedup:.2}").as_str());
+    report.meta("parallel_speedup", format!("{parallel_speedup:.2}").as_str());
+    report.meta("batched_speedup", format!("{batched_speedup:.2}").as_str());
+    report.meta(
+        "cache_hit_rate",
+        format!("{:.3}", m.audit_cache().hit_rate()).as_str(),
+    );
+
+    match report.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artefact: {e}"),
+    }
+}

@@ -10,6 +10,7 @@
 //! | `table2_gas` | Table II — gas consumption of every contract operation |
 //! | `ablation_decoupling` | §IV-B proof-decoupling saving (design-choice ablation) |
 //! | `ablation_primitives` | §IV-C circuit-friendly-primitive saving (ablation) |
+//! | `fig_audit` | lineage audit cost: serial vs. batched vs. parallel vs. cached |
 //!
 //! Criterion benches (`cargo bench -p zkdet-bench`) cover the same pipeline
 //! at reduced sizes plus substrate micro-benchmarks (MSM, FFT, pairing,

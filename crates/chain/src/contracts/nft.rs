@@ -6,10 +6,11 @@
 //! `prevIds[]` provenance field linking to parent tokens, and a pointer to
 //! the proof bundle (`π_e`, `π_t`) for the transformation that produced it.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use zkdet_field::Fr;
+use zkdet_provenance::{NodeId, ProvenanceIndex};
 use zkdet_storage::Cid;
 
 use crate::chain::{ChainError, Event};
@@ -32,6 +33,19 @@ pub enum TransformKind {
     Processing(String),
 }
 
+impl TransformKind {
+    /// Human-readable label used by the provenance index and its exports.
+    pub fn label(&self) -> &str {
+        match self {
+            TransformKind::Original => "original",
+            TransformKind::Aggregation => "aggregation",
+            TransformKind::Partition => "partition",
+            TransformKind::Duplication => "duplication",
+            TransformKind::Processing(f) => f,
+        }
+    }
+}
+
 /// Per-token metadata stored on-chain.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TokenMeta {
@@ -49,6 +63,12 @@ pub struct TokenMeta {
 }
 
 /// The data-NFT registry.
+///
+/// The transformation DAG lives in an embedded [`ProvenanceIndex`] that is
+/// kept in lockstep with mint/burn: every mint is indexed (burned tokens
+/// stay as tombstones so lineage remains traceable through them), and
+/// lineage queries delegate to the index instead of re-walking `prevIds[]`
+/// maps on every call.
 #[derive(Clone, Debug, Default)]
 pub struct NftContract {
     owners: HashMap<TokenId, Address>,
@@ -57,6 +77,7 @@ pub struct NftContract {
     balances: HashMap<Address, u64>,
     next_id: u64,
     total_supply: u64,
+    index: ProvenanceIndex,
 }
 
 /// Estimated deployed-code size in bytes (a flattened ERC-721 with the
@@ -136,6 +157,11 @@ impl NftContract {
         meter.sstore(fresh_holder); // balance
         meter.sstore(self.total_supply == 0); // totalSupply
         meter.log(3, 32); // Transfer(0, to, id)
+
+        let parents: Vec<NodeId> = meta.prev_ids.iter().map(|p| NodeId(p.0)).collect();
+        self.index
+            .insert(NodeId(id.0), meta.commitment, &parents, meta.kind.label())
+            .map_err(|_| ChainError::InvalidProvenance)?;
 
         self.owners.insert(id, to);
         self.meta.insert(id, meta);
@@ -232,6 +258,8 @@ impl NftContract {
         self.owners.remove(&id);
         self.meta.remove(&id);
         self.approvals.remove(&id);
+        // Tombstone, not removal: descendants keep tracing through it.
+        let _ = self.index.mark_burned(NodeId(id.0));
         *self.balances.entry(owner).or_insert(1) -= 1;
         self.total_supply -= 1;
         events.push(Event::Transfer {
@@ -249,19 +277,16 @@ impl NftContract {
         if !self.meta.contains_key(&id) {
             return Err(ChainError::NoSuchToken(id));
         }
-        let mut out = Vec::new();
-        let mut queue = VecDeque::from([id]);
-        let mut seen = std::collections::HashSet::from([id]);
-        while let Some(cur) = queue.pop_front() {
-            if let Some(meta) = self.meta.get(&cur) {
-                for p in &meta.prev_ids {
-                    if seen.insert(*p) {
-                        out.push(*p);
-                        queue.push_back(*p);
-                    }
-                }
-            }
-        }
-        Ok(out)
+        let ancestors = self
+            .index
+            .ancestors(NodeId(id.0))
+            .map_err(|_| ChainError::NoSuchToken(id))?;
+        Ok(ancestors.iter().map(|n| TokenId(n.0)).collect())
+    }
+
+    /// The embedded transformation-DAG index (lineage digests, DOT/JSON
+    /// export, reachability — everything beyond the plain ancestor list).
+    pub fn provenance_index(&self) -> &ProvenanceIndex {
+        &self.index
     }
 }

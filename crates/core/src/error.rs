@@ -37,6 +37,15 @@ pub enum ZkdetError {
     Plonk(PlonkError),
     /// A zero-knowledge proof failed verification.
     ProofInvalid(&'static str),
+    /// A lineage proof failed verification, localised to the exact token
+    /// and check (batched audits fall back to per-edge verification to
+    /// recover this localisation).
+    LineageProofInvalid {
+        /// The token whose check failed.
+        token: zkdet_chain::TokenId,
+        /// Which check failed ("π_e", "π_t (aggregation)", …).
+        what: &'static str,
+    },
     /// Retrieved bytes failed structural decoding.
     Codec(String),
     /// A published artefact is inconsistent with on-chain records.
@@ -58,6 +67,9 @@ impl core::fmt::Display for ZkdetError {
             ZkdetError::Storage(e) => write!(f, "storage error: {e}"),
             ZkdetError::Plonk(e) => write!(f, "proving error: {e}"),
             ZkdetError::ProofInvalid(what) => write!(f, "proof rejected: {what}"),
+            ZkdetError::LineageProofInvalid { token, what } => {
+                write!(f, "proof rejected: {what} of token {token}")
+            }
             ZkdetError::Codec(what) => write!(f, "decode failure: {what}"),
             ZkdetError::Inconsistent(what) => write!(f, "inconsistent artefact: {what}"),
             ZkdetError::MissingSecret(t) => write!(f, "no seller secrets for token {t}"),
@@ -97,6 +109,7 @@ impl ZkdetError {
             }
             ZkdetError::Plonk(_)
             | ZkdetError::ProofInvalid(_)
+            | ZkdetError::LineageProofInvalid { .. }
             | ZkdetError::MissingSecret(_)
             | ZkdetError::Protocol(_) => Recovery::Fatal,
         }

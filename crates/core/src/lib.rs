@@ -42,3 +42,4 @@ pub use exchange::{
     BuyerSession, ExchangeOutcome, ExchangeReport, SellerListing, ValidationPackage,
 };
 pub use market::{DataOwner, Marketplace, ProvenanceReport, RobustnessMetrics};
+pub use zkdet_provenance::{AuditCache, NodeId, ProvenanceIndex, VerifyMode};

@@ -18,7 +18,10 @@ use zkdet_crypto::commitment::{Commitment, CommitmentScheme, Opening};
 use zkdet_crypto::mimc::{Ciphertext, MimcCtr};
 use zkdet_field::{Field, Fr};
 use zkdet_kzg::Srs;
-use zkdet_plonk::{Plonk, Proof, ProvingKey, VerifyingKey};
+use zkdet_plonk::{Proof, Plonk, ProvingKey, VerifyingKey};
+use zkdet_provenance::{
+    export, lineage_digest, verify_lineage, AuditCache, LineageCheck, NodeId, VerifyMode,
+};
 use zkdet_storage::{PinOwner, RetrievalPolicy, StorageNetwork};
 
 use crate::bundle::{ProofBundle, TransformProof};
@@ -149,6 +152,11 @@ pub struct Marketplace {
     /// default global), so parallel tests stay isolated and the robustness
     /// counters are never silently lost.
     metrics: zkdet_telemetry::Registry,
+    /// Verified-lineage-proof cache: re-auditing a token whose ancestors
+    /// were audited before only verifies the new edges.
+    audit_cache: AuditCache,
+    /// Worker threads for [`Self::audit_token_parallel`].
+    audit_threads: usize,
 }
 
 impl Marketplace {
@@ -194,6 +202,8 @@ impl Marketplace {
             next_owner_seed: 1,
             retrieval_policy: RetrievalPolicy::default(),
             metrics: zkdet_telemetry::Registry::new(),
+            audit_cache: AuditCache::new(),
+            audit_threads: 4,
         })
     }
 
@@ -689,18 +699,16 @@ impl Marketplace {
         let (checks, report) = self.collect_audit_checks(token, rng)?;
         span.record("proofs", checks.len() as u64);
         span.record("edges", report.transform_edges as u64);
-        for (vk, publics, proof, what) in &checks {
-            if !Plonk::verify(vk, publics, proof) {
-                return Err(ZkdetError::ProofInvalid(what));
-            }
-        }
+        verify_lineage(&checks, &mut self.audit_cache, VerifyMode::Serial, rng)
+            .map_err(|r| ZkdetError::ProofInvalid(r.label))?;
         Ok(report)
     }
 
-    /// Like [`Self::audit_token`], but folds every proof in the lineage
-    /// into a **single** pairing check via [`Plonk::batch_verify`] — the
-    /// fast path for long chains (Fig. 3). On failure it reports only that
-    /// *some* proof is invalid; re-run `audit_token` to localise it.
+    /// Like [`Self::audit_token`], but folds every cache-missing proof in
+    /// the lineage into a **single** pairing check via
+    /// [`Plonk::batch_verify`] — the fast path for long chains (Fig. 3).
+    /// On failure the batch is re-verified per proof so the error names
+    /// the exact failing token and check.
     pub fn audit_token_batched<R: Rng + ?Sized>(
         &mut self,
         token: TokenId,
@@ -709,36 +717,104 @@ impl Marketplace {
         let mut span = zkdet_telemetry::span("market.audit_batched");
         let (checks, report) = self.collect_audit_checks(token, rng)?;
         span.record("proofs", checks.len() as u64);
-        let items: Vec<(&VerifyingKey, &[Fr], &Proof)> = checks
-            .iter()
-            .map(|(vk, publics, proof, _)| (&**vk, publics.as_slice(), proof))
-            .collect();
-        if !Plonk::batch_verify(&items, rng) {
-            return Err(ZkdetError::ProofInvalid(
-                "batched lineage verification (re-run audit_token to localise)",
-            ));
-        }
+        verify_lineage(&checks, &mut self.audit_cache, VerifyMode::Batched, rng).map_err(
+            |r| ZkdetError::LineageProofInvalid {
+                token: TokenId(r.node.0),
+                what: r.label,
+            },
+        )?;
         Ok(report)
+    }
+
+    /// Like [`Self::audit_token_batched`], but partitions the cache-missing
+    /// checks across up to [`Self::audit_threads`] worker threads, each
+    /// folding its partition into one pairing check. Failures are localised
+    /// to the exact token and check, like the batched mode.
+    pub fn audit_token_parallel<R: Rng + ?Sized>(
+        &mut self,
+        token: TokenId,
+        rng: &mut R,
+    ) -> Result<ProvenanceReport, ZkdetError> {
+        let mut span = zkdet_telemetry::span("market.audit_parallel");
+        let (checks, report) = self.collect_audit_checks(token, rng)?;
+        span.record("proofs", checks.len() as u64);
+        let threads = self.audit_threads;
+        verify_lineage(
+            &checks,
+            &mut self.audit_cache,
+            VerifyMode::Parallel { threads },
+            rng,
+        )
+        .map_err(|r| ZkdetError::LineageProofInvalid {
+            token: TokenId(r.node.0),
+            what: r.label,
+        })?;
+        Ok(report)
+    }
+
+    /// The verified-lineage-proof cache (hit/miss counters, size).
+    pub fn audit_cache(&self) -> &AuditCache {
+        &self.audit_cache
+    }
+
+    /// Drops every cached verified check (e.g. after rotating trust roots).
+    pub fn clear_audit_cache(&mut self) {
+        self.audit_cache.clear();
+    }
+
+    /// Sets the worker-thread budget for [`Self::audit_token_parallel`].
+    pub fn set_audit_threads(&mut self, threads: usize) {
+        self.audit_threads = threads.max(1);
+    }
+
+    /// Tamper-evident lineage digest of a token: a Merkle accumulator over
+    /// its canonically-ordered sub-DAG (stable across insertion orders,
+    /// sensitive to any payload or edge change).
+    pub fn lineage_digest(&self, token: TokenId) -> Result<Fr, ZkdetError> {
+        let nft = self.chain.nft(&self.nft_addr)?;
+        nft.token_meta(token)?;
+        lineage_digest(nft.provenance_index(), NodeId(token.0))
+            .map_err(|e| ZkdetError::Inconsistent(format!("lineage digest: {e}")))
+    }
+
+    /// ASCII provenance tree of a token (parents indented beneath each
+    /// node, shared ancestors elided).
+    pub fn provenance_tree(&self, token: TokenId) -> Result<String, ZkdetError> {
+        let nft = self.chain.nft(&self.nft_addr)?;
+        nft.token_meta(token)?;
+        export::render_tree(nft.provenance_index(), NodeId(token.0))
+            .map_err(|e| ZkdetError::Inconsistent(format!("provenance tree: {e}")))
+    }
+
+    /// Graphviz DOT rendering of a token's lineage sub-DAG.
+    pub fn provenance_dot(&self, token: TokenId) -> Result<String, ZkdetError> {
+        let nft = self.chain.nft(&self.nft_addr)?;
+        nft.token_meta(token)?;
+        export::to_dot(nft.provenance_index(), NodeId(token.0))
+            .map_err(|e| ZkdetError::Inconsistent(format!("provenance dot: {e}")))
+    }
+
+    /// Structured JSON rendering of a token's lineage sub-DAG.
+    pub fn provenance_json(
+        &self,
+        token: TokenId,
+    ) -> Result<zkdet_telemetry::Value, ZkdetError> {
+        let nft = self.chain.nft(&self.nft_addr)?;
+        nft.token_meta(token)?;
+        export::to_json(nft.provenance_index(), NodeId(token.0))
+            .map_err(|e| ZkdetError::Inconsistent(format!("provenance json: {e}")))
     }
 
     /// Walks the lineage collecting `(vk, statement, proof, label)` tuples
     /// plus the structural report; shared by both audit modes. Performs all
     /// non-cryptographic integrity checks (digests, lengths, statement
     /// consistency) eagerly.
-    #[allow(clippy::type_complexity)]
     fn collect_audit_checks<R: Rng + ?Sized>(
         &mut self,
         token: TokenId,
         rng: &mut R,
-    ) -> Result<
-        (
-            Vec<(std::sync::Arc<VerifyingKey>, Vec<Fr>, Proof, &'static str)>,
-            ProvenanceReport,
-        ),
-        ZkdetError,
-    > {
-        let mut checks: Vec<(std::sync::Arc<VerifyingKey>, Vec<Fr>, Proof, &'static str)> =
-            Vec::new();
+    ) -> Result<(Vec<LineageCheck>, ProvenanceReport), ZkdetError> {
+        let mut checks: Vec<LineageCheck> = Vec::new();
         let mut verified = Vec::new();
         let mut edges = 0usize;
         let mut queue = std::collections::VecDeque::from([token]);
@@ -758,12 +834,13 @@ impl Marketplace {
             let enc_keys = self.enc_keys(bundle.len, rng)?;
             let enc_shape = EncryptionCircuit::new(bundle.len);
             let commitment = Commitment(meta.commitment);
-            checks.push((
-                std::sync::Arc::new(enc_keys.1.clone()),
-                enc_shape.public_inputs(&ciphertext, &commitment),
-                bundle.pi_e.clone(),
-                "π_e",
-            ));
+            checks.push(LineageCheck {
+                node: NodeId(cur.0),
+                vk: std::sync::Arc::new(enc_keys.1.clone()),
+                publics: enc_shape.public_inputs(&ciphertext, &commitment),
+                proof: bundle.pi_e.clone(),
+                label: "π_e",
+            });
 
             // π_t: the transformation relating this token to its parents.
             let parent_commitments: Vec<Fr> = meta
@@ -786,12 +863,13 @@ impl Marketplace {
                         &Commitment(parent_commitments[0]),
                         &commitment,
                     );
-                    checks.push((
-                        std::sync::Arc::new(keys.1.clone()),
+                    checks.push(LineageCheck {
+                        node: NodeId(cur.0),
+                        vk: std::sync::Arc::new(keys.1.clone()),
                         publics,
-                        proof.clone(),
-                        "π_t (duplication)",
-                    ));
+                        proof: proof.clone(),
+                        label: "π_t (duplication)",
+                    });
                     edges += 1;
                 }
                 (
@@ -803,12 +881,13 @@ impl Marketplace {
                     let parents: Vec<Commitment> =
                         parent_commitments.iter().map(|c| Commitment(*c)).collect();
                     let publics = shape.public_inputs(&commitment, &parents);
-                    checks.push((
-                        std::sync::Arc::new(keys.1.clone()),
+                    checks.push(LineageCheck {
+                        node: NodeId(cur.0),
+                        vk: std::sync::Arc::new(keys.1.clone()),
                         publics,
-                        proof.clone(),
-                        "π_t (aggregation)",
-                    ));
+                        proof: proof.clone(),
+                        label: "π_t (aggregation)",
+                    });
                     edges += 1;
                 }
                 (
@@ -831,12 +910,13 @@ impl Marketplace {
                         part_commitments.iter().map(|c| Commitment(*c)).collect();
                     let publics =
                         shape.public_inputs(&Commitment(parent_commitments[0]), &parts);
-                    checks.push((
-                        std::sync::Arc::new(keys.1.clone()),
+                    checks.push(LineageCheck {
+                        node: NodeId(cur.0),
+                        vk: std::sync::Arc::new(keys.1.clone()),
                         publics,
-                        proof.clone(),
-                        "π_t (partition)",
-                    ));
+                        proof: proof.clone(),
+                        label: "π_t (partition)",
+                    });
                     edges += 1;
                 }
                 (
@@ -871,12 +951,13 @@ impl Marketplace {
                             "token {cur}: processing statement omits the derived commitment"
                         )));
                     }
-                    checks.push((
-                        std::sync::Arc::new(vk.clone()),
-                        publics.clone(),
-                        proof.clone(),
-                        "π_t (processing)",
-                    ));
+                    checks.push(LineageCheck {
+                        node: NodeId(cur.0),
+                        vk: std::sync::Arc::new(vk.clone()),
+                        publics: publics.clone(),
+                        proof: proof.clone(),
+                        label: "π_t (processing)",
+                    });
                     edges += 1;
                 }
                 _ => {

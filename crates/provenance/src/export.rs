@@ -1,0 +1,206 @@
+//! Auditor-facing exports of a token's lineage: Graphviz DOT, structured
+//! JSON (via the workspace's deterministic JSON codec), and an ASCII tree
+//! for terminal output.
+
+use std::collections::HashSet;
+
+use zkdet_field::PrimeField;
+use zkdet_telemetry::Value;
+
+use crate::digest::lineage_digest;
+use crate::index::{DagError, NodeId, ProvenanceIndex};
+
+/// Hex rendering of a field element (the on-chain commitment), shortened
+/// for labels.
+fn short_fr(v: zkdet_field::Fr) -> String {
+    let bytes = v.to_bytes();
+    let mut s = String::with_capacity(14);
+    for b in &bytes[..6] {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s.push('…');
+    s
+}
+
+/// Graphviz DOT of the sub-DAG below `id` (edges point child → parent,
+/// the provenance direction). Burned nodes render dashed.
+///
+/// # Errors
+///
+/// [`DagError::UnknownNode`] when `id` is not indexed.
+pub fn to_dot(index: &ProvenanceIndex, id: NodeId) -> Result<String, DagError> {
+    let order = index.canonical_lineage(id)?;
+    let mut out = String::from("digraph provenance {\n  rankdir=BT;\n");
+    for n in &order {
+        let style = if index.is_burned(*n) {
+            ", style=dashed"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  n{} [label=\"{} {}\\n{}\"{}];\n",
+            n.0,
+            n,
+            index.label(*n)?,
+            short_fr(index.payload(*n)?),
+            style
+        ));
+    }
+    for n in &order {
+        for p in index.parents(*n)? {
+            out.push_str(&format!("  n{} -> n{};\n", n.0, p.0));
+        }
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+/// Structured JSON of the sub-DAG below `id`: the audited token, its
+/// lineage digest, and one record per node in canonical topological order.
+///
+/// # Errors
+///
+/// [`DagError::UnknownNode`] when `id` is not indexed.
+pub fn to_json(index: &ProvenanceIndex, id: NodeId) -> Result<Value, DagError> {
+    let order = index.canonical_lineage(id)?;
+    let mut nodes: Vec<Value> = Vec::with_capacity(order.len());
+    for n in &order {
+        let parents: Vec<Value> = index
+            .parents(*n)?
+            .iter()
+            .map(|p| Value::UInt(p.0))
+            .collect();
+        nodes.push(
+            Value::object()
+                .with("id", n.0)
+                .with("label", index.label(*n)?)
+                .with("commitment", short_fr(index.payload(*n)?).as_str())
+                .with("depth", index.depth(*n)? as u64)
+                .with("burned", index.is_burned(*n))
+                .with("parents", parents),
+        );
+    }
+    Ok(Value::object()
+        .with("token", id.0)
+        .with("digest", short_fr(lineage_digest(index, id)?).as_str())
+        .with("nodes", nodes))
+}
+
+/// ASCII tree of `id`'s lineage, parents indented beneath each node.
+/// Shared ancestors (diamond shapes) are expanded once and elided with
+/// `(…)` on re-visits.
+///
+/// # Errors
+///
+/// [`DagError::UnknownNode`] when `id` is not indexed.
+pub fn render_tree(index: &ProvenanceIndex, id: NodeId) -> Result<String, DagError> {
+    fn walk(
+        index: &ProvenanceIndex,
+        id: NodeId,
+        prefix: &str,
+        is_last: bool,
+        is_root: bool,
+        expanded: &mut HashSet<NodeId>,
+        out: &mut String,
+    ) -> Result<(), DagError> {
+        let connector = if is_root {
+            String::new()
+        } else if is_last {
+            format!("{prefix}└── ")
+        } else {
+            format!("{prefix}├── ")
+        };
+        let burned = if index.is_burned(id) { " [burned]" } else { "" };
+        let repeat = !expanded.insert(id);
+        out.push_str(&format!(
+            "{connector}{id} {}{burned}{}\n",
+            index.label(id)?,
+            if repeat { " (…)" } else { "" }
+        ));
+        if repeat {
+            return Ok(());
+        }
+        let parents = index.parents(id)?.to_vec();
+        let child_prefix = if is_root {
+            String::new()
+        } else if is_last {
+            format!("{prefix}    ")
+        } else {
+            format!("{prefix}│   ")
+        };
+        for (i, p) in parents.iter().enumerate() {
+            walk(
+                index,
+                *p,
+                &child_prefix,
+                i + 1 == parents.len(),
+                false,
+                expanded,
+                out,
+            )?;
+        }
+        Ok(())
+    }
+    let mut out = String::new();
+    walk(index, id, "", true, true, &mut HashSet::new(), &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use zkdet_field::Fr;
+
+    fn diamond() -> ProvenanceIndex {
+        let mut idx = ProvenanceIndex::new();
+        idx.insert(NodeId(0), Fr::from(1u64), &[], "original").unwrap();
+        idx.insert(NodeId(1), Fr::from(2u64), &[NodeId(0)], "partition").unwrap();
+        idx.insert(NodeId(2), Fr::from(3u64), &[NodeId(0)], "partition").unwrap();
+        idx.insert(
+            NodeId(3),
+            Fr::from(4u64),
+            &[NodeId(1), NodeId(2)],
+            "aggregation",
+        )
+        .unwrap();
+        idx
+    }
+
+    #[test]
+    fn dot_lists_every_node_and_edge() {
+        let idx = diamond();
+        let dot = to_dot(&idx, NodeId(3)).unwrap();
+        for node in ["n0 [", "n1 [", "n2 [", "n3 ["] {
+            assert!(dot.contains(node), "{dot}");
+        }
+        for edge in ["n3 -> n1", "n3 -> n2", "n1 -> n0", "n2 -> n0"] {
+            assert!(dot.contains(edge), "{dot}");
+        }
+        assert!(to_dot(&idx, NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn json_is_schema_shaped_and_parseable() {
+        let idx = diamond();
+        let v = to_json(&idx, NodeId(3)).unwrap();
+        assert_eq!(v.get("token").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            v.get("nodes").and_then(Value::as_array).map(|a| a.len()),
+            Some(4)
+        );
+        // Round-trips through the strict parser.
+        let back = Value::parse(&v.encode_pretty()).unwrap();
+        assert_eq!(back.get("token").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn tree_elides_shared_ancestors() {
+        let idx = diamond();
+        let tree = render_tree(&idx, NodeId(3)).unwrap();
+        assert!(tree.contains("#3 aggregation"));
+        // #0 appears twice (once expanded, once elided).
+        assert_eq!(tree.matches("#0 original").count(), 2);
+        assert_eq!(tree.matches("(…)").count(), 1);
+    }
+}

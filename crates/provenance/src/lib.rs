@@ -1,0 +1,41 @@
+//! # zkdet-provenance
+//!
+//! Traceability is half of the ZKDET paper's title; this crate makes it a
+//! first-class subsystem instead of an ad-hoc walk. It owns the token
+//! transformation DAG and everything auditors do with it:
+//!
+//! * [`ProvenanceIndex`] — an incrementally-maintained index over
+//!   mint/transform/burn events: parent/child adjacency, roots, depths,
+//!   topological order. Parent-existence and cycles are rejected at
+//!   insert, so every query may assume a DAG. Ancestor/descendant sets are
+//!   memoised (invalidated on burn), so the repeated lineage walks of an
+//!   audit cost O(sub-DAG) once and a lookup after;
+//! * [`AuditCache`] — remembers which `(token, proof, vk, statement)`
+//!   combinations already verified, so re-auditing a token whose ancestors
+//!   were audited before verifies only the new edges (keys are SHA-256
+//!   digests: any tampering forces a miss, never a false hit);
+//! * [`verify_lineage`] — serial, batched (one folded pairing check via
+//!   [`zkdet_plonk::Plonk::batch_verify`]) and parallel (the check
+//!   frontier partitioned across threads, one folded check per partition)
+//!   verification, always localising failures to the exact token + proof;
+//! * [`lineage_digest`] — a tamper-evident Merkle accumulator over the
+//!   canonically-ordered sub-DAG, stable across insertion orders;
+//! * [`export`] — DOT / JSON / ASCII-tree renderings for auditors.
+//!
+//! The chain's NFT contract keeps an index in lockstep with its token
+//! state, and the marketplace's `audit_token*` family drives the cache and
+//! the verification modes; `zkdet.provenance.*` counters and
+//! `provenance.*` spans report cache hit-rates and batch shapes.
+
+pub mod cache;
+pub mod digest;
+pub mod export;
+pub mod index;
+pub mod verify;
+
+pub use cache::{
+    digest_proof, digest_publics, digest_vk, ArtefactDigest, AuditCache, AuditKey,
+};
+pub use digest::lineage_digest;
+pub use index::{DagError, NodeId, ProvenanceIndex};
+pub use verify::{verify_lineage, LineageCheck, ProofRejected, VerifyMode, VerifyReport};

@@ -37,12 +37,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let parts = market.partition(&mut integrator, t_dup, &[3, 2], &mut rng)?;
     println!("partition(duplicate, [3,2]) → tokens {}, {}", parts[0], parts[1]);
 
-    banner("provenance (on-chain prevIds[] walk)");
+    banner("provenance (indexed transformation DAG)");
     let prov = market
         .chain
         .nft(&market.nft_addr)?
         .provenance(parts[0])?;
     println!("ancestors of {}: {prov:?}", parts[0]);
+    print!("{}", market.provenance_tree(parts[0])?);
+    println!(
+        "lineage digest of {}: {:?}",
+        parts[0],
+        market.lineage_digest(parts[0])?
+    );
 
     banner("third-party audit of the whole lineage");
     let report = market.audit_token(parts[0], &mut rng)?;
@@ -50,6 +56,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "✓ {} tokens verified, {} transformation proofs checked",
         report.verified_tokens.len(),
         report.transform_edges
+    );
+    // Re-audit: the audit cache remembers every verified (token, proof,
+    // vk, statement) tuple, so the second pass does no pairing work.
+    let again = market.audit_token_batched(parts[0], &mut rng)?;
+    assert_eq!(report, again);
+    let cache = market.audit_cache();
+    println!(
+        "✓ re-audit served from the audit cache: {} hits / {} misses ({:.0}% hit rate)",
+        cache.hits(),
+        cache.misses(),
+        cache.hit_rate() * 100.0
     );
 
     banner("key-secure sale of the aggregate");
