@@ -13,6 +13,8 @@
 //! cargo run --release -p zkdet-bench --bin ablation_decoupling
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use zkdet_bench::{bench_rng, enc_instance, fmt_duration, time, BenchReport};

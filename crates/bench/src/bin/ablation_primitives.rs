@@ -13,6 +13,8 @@
 //! cargo run --release -p zkdet-bench --bin ablation_primitives
 //! ```
 
+#![forbid(unsafe_code)]
+
 use zkdet_bench::{bench_rng, BenchReport};
 use zkdet_circuits::gadgets::{mimc_ctr_encrypt, poseidon_hash_two};
 use zkdet_field::{Field, Fr};

@@ -14,6 +14,8 @@
 //! cargo run --release -p zkdet-bench --bin baseline_comparison
 //! ```
 
+#![forbid(unsafe_code)]
+
 use zkdet_bench::{bench_rng, BenchReport};
 use zkdet_circuits::exchange::RangePredicate;
 use zkdet_core::{Dataset, Marketplace};

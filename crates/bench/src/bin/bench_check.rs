@@ -9,6 +9,8 @@
 //! cargo run --release -p zkdet-bench --bin bench_check -- BENCH_*.json
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use zkdet_telemetry::Value;

@@ -11,6 +11,8 @@
 //! cargo run --release -p zkdet-bench --bin fig5_setup [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use zkdet_bench::{bench_rng, fmt_duration, synthetic_circuit, time, BenchReport};
 use zkdet_kzg::Srs;
 use zkdet_plonk::Plonk;

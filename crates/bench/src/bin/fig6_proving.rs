@@ -19,6 +19,8 @@
 //! cargo run --release -p zkdet-bench --bin fig6_proving [--full|--small]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use zkdet_bench::{
     bench_rng, blocks_to_bytes, enc_instance, fmt_duration, time, BenchReport,
 };

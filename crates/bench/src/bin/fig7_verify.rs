@@ -15,6 +15,8 @@
 //! cargo run --release -p zkdet-bench --bin fig7_verify
 //! ```
 
+#![forbid(unsafe_code)]
+
 use zkdet_bench::{bench_rng, fmt_duration, time, BenchReport};
 use zkdet_curve::{multi_miller_loop, final_exponentiation, G1Projective, G2Affine};
 use zkdet_field::{Field, Fr};

@@ -23,6 +23,8 @@
 //! cargo run --release -p zkdet-bench --bin fig_audit [--full|--small]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use zkdet_bench::{bench_rng, fmt_duration, time, BenchReport};

@@ -19,6 +19,8 @@
 //! cargo run --release -p zkdet-bench --bin table1_apps [--full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use zkdet_bench::{bench_rng, fmt_duration, logreg_witness, time, BenchReport};
 use zkdet_circuits::apps::logreg::LogisticRegressionCircuit;
 use zkdet_circuits::apps::transformer::{

@@ -8,6 +8,8 @@
 //! cargo run --release -p zkdet-bench --bin table2_gas
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::SeedableRng;
 use zkdet_bench::{bench_rng, BenchReport};
 use zkdet_core::{Dataset, Marketplace};

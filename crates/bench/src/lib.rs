@@ -16,6 +16,8 @@
 //! at reduced sizes plus substrate micro-benchmarks (MSM, FFT, pairing,
 //! MiMC, Poseidon).
 
+#![forbid(unsafe_code)]
+
 pub mod report;
 
 pub use report::{check, init_telemetry, BenchReport, SCHEMA};

@@ -22,6 +22,8 @@
 //! tamper-resistant, consistent ledger (§IV-A), which a single-process
 //! deterministic simulator provides by construction.
 
+#![forbid(unsafe_code)]
+
 pub mod chain;
 pub mod contracts;
 pub mod gas;

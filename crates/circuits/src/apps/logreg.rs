@@ -232,6 +232,7 @@ pub fn train_reference(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -301,9 +302,8 @@ mod tests {
                 .synthesize(&witness, &c_s, &o_s, &c_d, &o_d)
                 .is_satisfied()
         });
-        match result {
-            Ok(ok) => assert!(!ok),
-            Err(_) => {}
+        if let Ok(ok) = result {
+            assert!(!ok);
         }
     }
 

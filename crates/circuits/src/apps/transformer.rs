@@ -320,6 +320,7 @@ pub fn encode_matrix(m: &[Vec<f64>]) -> Vec<Fr> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};

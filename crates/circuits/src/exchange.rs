@@ -94,12 +94,13 @@ impl<P: ValidationPredicate> ValidationCircuit<P> {
     }
 
     /// Synthesizes with a concrete witness.
-    pub fn synthesize(
-        &self,
-        data: &[Fr],
-        c_d: &Commitment,
-        o_d: &Opening,
-    ) -> CompiledCircuit {
+    pub fn synthesize(&self, data: &[Fr], c_d: &Commitment, o_d: &Opening) -> CompiledCircuit {
+        self.synthesize_builder(data, c_d, o_d).build()
+    }
+
+    /// Synthesizes the constraint system without finalizing it — the
+    /// pre-build [`CircuitBuilder`] is what `zkdet-lint` analyzes.
+    pub fn synthesize_builder(&self, data: &[Fr], c_d: &Commitment, o_d: &Opening) -> CircuitBuilder {
         assert_eq!(data.len(), self.len);
         let mut b = CircuitBuilder::new();
         let c_pub = b.public_input(c_d.0);
@@ -108,7 +109,7 @@ impl<P: ValidationPredicate> ValidationCircuit<P> {
         let c_computed = poseidon_commit(&mut b, &d, o);
         b.assert_equal(c_computed, c_pub);
         self.predicate.synthesize(&mut b, &d);
-        b.build()
+        b
     }
 
     /// Public inputs: `[c_d, predicate publics…]`.
@@ -140,6 +141,19 @@ impl KeyNegotiationCircuit {
         key_commitment: &Commitment,
         key_opening: &Opening,
     ) -> CompiledCircuit {
+        self.synthesize_builder(key, buyer_key, key_commitment, key_opening)
+            .build()
+    }
+
+    /// Synthesizes the constraint system without finalizing it — the
+    /// pre-build [`CircuitBuilder`] is what `zkdet-lint` analyzes.
+    pub fn synthesize_builder(
+        &self,
+        key: Fr,
+        buyer_key: Fr,
+        key_commitment: &Commitment,
+        key_opening: &Opening,
+    ) -> CircuitBuilder {
         let k_c_value = key + buyer_key;
         let h_v_value = Poseidon::hash(&[buyer_key]);
 
@@ -162,7 +176,7 @@ impl KeyNegotiationCircuit {
         let sum = b.add(k, k_v);
         b.assert_equal(sum, k_c_pub);
 
-        b.build()
+        b
     }
 
     /// Public inputs `[k_c, c, h_v]` for a given exchange.
@@ -172,6 +186,7 @@ impl KeyNegotiationCircuit {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};

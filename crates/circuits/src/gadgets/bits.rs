@@ -56,6 +56,7 @@ pub fn assert_lt_const(b: &mut CircuitBuilder, x: Variable, bound: Fr, k: usize)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};

@@ -181,6 +181,7 @@ pub fn assert_abs_le(b: &mut CircuitBuilder, x: Fixed, bound: f64) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

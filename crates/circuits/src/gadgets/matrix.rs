@@ -45,6 +45,7 @@ pub fn relu(b: &mut CircuitBuilder, x: Fixed) -> Fixed {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::gadgets::fixed::{self};

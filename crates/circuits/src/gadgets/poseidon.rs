@@ -74,6 +74,7 @@ pub fn poseidon_commit(b: &mut CircuitBuilder, message: &[Variable], opening: Va
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};

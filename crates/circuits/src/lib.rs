@@ -19,12 +19,16 @@
 //! public sizes, never on witness values, so one preprocessing serves all
 //! instances of the same shape.
 
+#![forbid(unsafe_code)]
+
 pub mod apps;
 pub mod encryption;
 pub mod exchange;
 pub mod gadgets;
+pub mod registry;
 pub mod transform;
 
 pub use encryption::EncryptionCircuit;
 pub use exchange::{KeyNegotiationCircuit, ValidationCircuit, ValidationPredicate};
+pub use registry::{registry, RegisteredCircuit};
 pub use transform::{AggregationCircuit, DuplicationCircuit, PartitionCircuit};

@@ -50,6 +50,19 @@ impl DuplicationCircuit {
         c_d: &Commitment,
         o_d: &Opening,
     ) -> CompiledCircuit {
+        self.synthesize_builder(source, c_s, o_s, c_d, o_d).build()
+    }
+
+    /// Synthesizes the constraint system without finalizing it — the
+    /// pre-build [`CircuitBuilder`] is what `zkdet-lint` analyzes.
+    pub fn synthesize_builder(
+        &self,
+        source: &[Fr],
+        c_s: &Commitment,
+        o_s: &Opening,
+        c_d: &Commitment,
+        o_d: &Opening,
+    ) -> CircuitBuilder {
         assert_eq!(source.len(), self.len);
         let mut b = CircuitBuilder::new();
         let s: Vec<_> = source.iter().map(|x| b.alloc(*x)).collect();
@@ -57,7 +70,7 @@ impl DuplicationCircuit {
         // both commitments open over the identical data.
         commit_open(&mut b, &s, o_s.0, c_s.0);
         commit_open(&mut b, &s, o_d.0, c_d.0);
-        b.build()
+        b
     }
 
     /// Public inputs: `[c_s, c_d]`.
@@ -97,6 +110,19 @@ impl AggregationCircuit {
         c_d: &Commitment,
         o_d: &Opening,
     ) -> CompiledCircuit {
+        self.synthesize_builder(sources, source_commitments, c_d, o_d)
+            .build()
+    }
+
+    /// Synthesizes the constraint system without finalizing it — the
+    /// pre-build [`CircuitBuilder`] is what `zkdet-lint` analyzes.
+    pub fn synthesize_builder(
+        &self,
+        sources: &[Vec<Fr>],
+        source_commitments: &[(Commitment, Opening)],
+        c_d: &Commitment,
+        o_d: &Opening,
+    ) -> CircuitBuilder {
         assert_eq!(sources.len(), self.source_lens.len());
         assert_eq!(source_commitments.len(), sources.len());
         let mut b = CircuitBuilder::new();
@@ -115,7 +141,7 @@ impl AggregationCircuit {
         for (wires, (c, o)) in per_source_wires.iter().zip(source_commitments) {
             commit_open(&mut b, wires, o.0, c.0);
         }
-        b.build()
+        b
     }
 
     /// Public inputs: `[c_d, c_{s₁}, …, c_{sₓ}]`.
@@ -165,6 +191,19 @@ impl PartitionCircuit {
         o_s: &Opening,
         part_commitments: &[(Commitment, Opening)],
     ) -> CompiledCircuit {
+        self.synthesize_builder(source, c_s, o_s, part_commitments)
+            .build()
+    }
+
+    /// Synthesizes the constraint system without finalizing it — the
+    /// pre-build [`CircuitBuilder`] is what `zkdet-lint` analyzes.
+    pub fn synthesize_builder(
+        &self,
+        source: &[Fr],
+        c_s: &Commitment,
+        o_s: &Opening,
+        part_commitments: &[(Commitment, Opening)],
+    ) -> CircuitBuilder {
         assert_eq!(source.len(), self.source_len());
         assert_eq!(part_commitments.len(), self.part_lens.len());
         let mut b = CircuitBuilder::new();
@@ -176,7 +215,7 @@ impl PartitionCircuit {
             commit_open(&mut b, part, o.0, c.0);
             offset += len;
         }
-        b.build()
+        b
     }
 
     /// Public inputs: `[c_s, c_{d₁}, …, c_{d_y}]`.
@@ -188,6 +227,7 @@ impl PartitionCircuit {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
@@ -282,9 +322,9 @@ mod tests {
                 .synthesize(&sources, &commits, &c_d, &o_d)
                 .is_satisfied()
         });
-        match result {
-            Ok(ok) => assert!(!ok),
-            Err(_) => {} // debug assertion caught the inconsistent witness
+        // Err means the debug assertion caught the inconsistent witness.
+        if let Ok(ok) = result {
+            assert!(!ok);
         }
     }
 

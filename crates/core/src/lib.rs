@@ -26,6 +26,8 @@
 //! See `examples/quickstart.rs` in the repository root, or the
 //! [`market::Marketplace`] type-level docs.
 
+#![forbid(unsafe_code)]
+
 pub mod bundle;
 pub mod codec;
 pub mod dataset;

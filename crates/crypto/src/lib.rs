@@ -13,6 +13,8 @@
 //!   Fiat–Shamir transcript, both *outside* circuits);
 //! * [`merkle`] — Poseidon Merkle trees.
 
+#![forbid(unsafe_code)]
+
 pub mod commitment;
 pub mod merkle;
 pub mod mimc;

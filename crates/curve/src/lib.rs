@@ -22,6 +22,8 @@
 //! assert_eq!(lhs, rhs.pow(&[15, 0, 0, 0]));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod group;
 mod msm;
 mod pairing;

@@ -24,6 +24,8 @@
 //! assert_eq!(a * a.inverse().unwrap(), Fr::ONE);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #[doc(hidden)]
 pub mod bigint;
 mod fq12;

@@ -26,6 +26,8 @@
 //! assert!(srs.verify(&commitment, &z, &value, &proof));
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use zkdet_curve::{

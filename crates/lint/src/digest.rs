@@ -1,0 +1,75 @@
+//! Structural digests: a Poseidon commitment to a circuit's *structure*.
+//!
+//! The digest absorbs exactly what preprocessing consumes — selector
+//! values, gate wiring, the public-input layout, and the copy-class
+//! partition — and nothing derived from witness assignments. Two builders
+//! of the same circuit shape therefore hash to the same field element no
+//! matter which witnesses they carry; a digest mismatch across witnesses is
+//! the `witness-dependent-structure` lint (structure leaking witness data
+//! and invalidating the one-preprocessing-per-shape contract).
+
+use zkdet_crypto::Poseidon;
+use zkdet_field::{Fr, PrimeField};
+use zkdet_plonk::CircuitBuilder;
+
+/// Domain tag for the structural digest ("zklint" in ASCII), keeping these
+/// hashes disjoint from every other Poseidon use in the workspace.
+const DOMAIN_TAG: u64 = 0x7a6b_6c69_6e74;
+
+/// Hashes the builder's structure into one field element.
+///
+/// Absorption order (fixed; a report schema, not an implementation detail):
+/// header `[tag, #vars, #gates, #PIs]`, then the public-input variable
+/// indices in exposure order, then per gate `[a, b, c, q_L, q_R, q_O, q_M,
+/// q_C]` in insertion order, then the canonical copy-class id of every
+/// variable (the smallest variable index in its class — representative
+/// choice inside the union-find is an implementation detail, the minimum
+/// member is not).
+pub fn structural_digest(b: &CircuitBuilder) -> Fr {
+    let n_vars = b.variable_count();
+    let rep_of: Vec<usize> = b
+        .variables()
+        .map(|v| b.copy_representative(v).index())
+        .collect();
+    // Canonical class id: min variable index per class (first sighting wins
+    // because we scan in increasing index order).
+    let mut min_member = vec![usize::MAX; n_vars];
+    for (i, rep) in rep_of.iter().enumerate() {
+        if min_member[*rep] == usize::MAX {
+            min_member[*rep] = i;
+        }
+    }
+
+    let mut data: Vec<Fr> = Vec::with_capacity(4 + n_vars + 8 * b.gate_count());
+    data.push(Fr::from(DOMAIN_TAG));
+    data.push(Fr::from(n_vars as u64));
+    data.push(Fr::from(b.gate_count() as u64));
+    data.push(Fr::from(b.public_input_variables().len() as u64));
+    for pi in b.public_input_variables() {
+        data.push(Fr::from(pi.index() as u64));
+    }
+    for g in b.gate_views() {
+        data.push(Fr::from(g.a.index() as u64));
+        data.push(Fr::from(g.b.index() as u64));
+        data.push(Fr::from(g.c.index() as u64));
+        data.push(g.q_l);
+        data.push(g.q_r);
+        data.push(g.q_o);
+        data.push(g.q_m);
+        data.push(g.q_c);
+    }
+    for rep in &rep_of {
+        data.push(Fr::from(min_member[*rep] as u64));
+    }
+    Poseidon::hash(&data)
+}
+
+/// Lowercase big-endian hex rendering of a digest (report encoding).
+pub fn digest_hex(d: Fr) -> String {
+    let limbs = d.to_canonical();
+    let mut out = String::with_capacity(64);
+    for limb in limbs.iter().rev() {
+        out.push_str(&format!("{limb:016x}"));
+    }
+    out
+}

@@ -1,0 +1,252 @@
+//! The lint taxonomy: typed finding classes, a severity ranking, and the
+//! machine-readable report encoding (zkdet-telemetry JSON).
+
+use zkdet_telemetry::Value;
+
+/// Severity ranking of a finding. Ordered: `Info < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or efficiency observation; never a soundness risk.
+    Info,
+    /// Suspicious structure that is probably not what the author intended.
+    Warning,
+    /// A soundness hole: the relation proved is weaker than the one written.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase label (report encoding and CLI flag values).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a CLI/report label.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+/// The lint classes the analyzer reports (DESIGN.md §12 taxonomy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LintClass {
+    /// A copy class whose value appears in no gate equation and contains no
+    /// public input: any witness value satisfies the circuit.
+    UnconstrainedVariable,
+    /// A public input whose copy class is read by no gadget gate — the
+    /// implicit PI row pins it to the claimed value, but nothing relates it
+    /// to the witness, so the statement component is free-floating.
+    UnderconstrainedPublicInput,
+    /// A merged copy class (an `assert_equal` happened) with a non-public
+    /// member that occupies no gate slot: that member never enters the
+    /// permutation argument, so its equality is silently unenforced.
+    UnreachableCopyClass,
+    /// A gate whose five selectors are all zero: it constrains nothing.
+    DeadGate,
+    /// A gate that linear constant-propagation proves unsatisfiable for
+    /// every witness (e.g. `q_C ≠ 0` with no wires read, or wires pinned to
+    /// contradicting constants).
+    UnsatisfiableGate,
+    /// Two distinct copy classes pinned to the same constant value; one
+    /// cached `constant()` allocation would serve both.
+    DuplicateConstant,
+    /// The structural digest differs across witnesses: selectors, wiring or
+    /// public-input layout depend on witness values, breaking the
+    /// one-preprocessing-per-shape contract.
+    WitnessDependentStructure,
+}
+
+impl LintClass {
+    /// Stable kebab-case slug (report encoding).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            LintClass::UnconstrainedVariable => "unconstrained-variable",
+            LintClass::UnderconstrainedPublicInput => "underconstrained-public-input",
+            LintClass::UnreachableCopyClass => "unreachable-copy-class",
+            LintClass::DeadGate => "dead-gate",
+            LintClass::UnsatisfiableGate => "unsatisfiable-gate",
+            LintClass::DuplicateConstant => "duplicate-constant",
+            LintClass::WitnessDependentStructure => "witness-dependent-structure",
+        }
+    }
+
+    /// The fixed severity of this class.
+    pub fn severity(&self) -> Severity {
+        match self {
+            LintClass::UnconstrainedVariable => Severity::Error,
+            LintClass::UnderconstrainedPublicInput => Severity::Error,
+            LintClass::UnreachableCopyClass => Severity::Error,
+            LintClass::DeadGate => Severity::Warning,
+            LintClass::UnsatisfiableGate => Severity::Error,
+            LintClass::DuplicateConstant => Severity::Info,
+            LintClass::WitnessDependentStructure => Severity::Error,
+        }
+    }
+}
+
+/// One diagnostic produced by the analyzer.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which lint fired.
+    pub class: LintClass,
+    /// Severity (always `class.severity()`; carried for report stability).
+    pub severity: Severity,
+    /// Human-readable description with the offending indices.
+    pub message: String,
+    /// Index of the variable (copy-class representative) involved, if any.
+    pub variable: Option<usize>,
+    /// Gate row involved, if any.
+    pub gate: Option<usize>,
+}
+
+impl Finding {
+    /// Builds a finding for `class` with its canonical severity.
+    pub fn new(class: LintClass, message: String) -> Finding {
+        Finding {
+            class,
+            severity: class.severity(),
+            message,
+            variable: None,
+            gate: None,
+        }
+    }
+
+    /// Attaches the offending variable index.
+    #[must_use]
+    pub fn at_variable(mut self, v: usize) -> Finding {
+        self.variable = Some(v);
+        self
+    }
+
+    /// Attaches the offending gate row.
+    #[must_use]
+    pub fn at_gate(mut self, g: usize) -> Finding {
+        self.gate = Some(g);
+        self
+    }
+
+    /// JSON encoding of this finding.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object()
+            .with("class", self.class.slug())
+            .with("severity", self.severity.label())
+            .with("message", self.message.as_str());
+        if let Some(var) = self.variable {
+            v.set("variable", var);
+        }
+        if let Some(gate) = self.gate {
+            v.set("gate", gate);
+        }
+        v
+    }
+}
+
+/// The degrees-of-freedom account: a structural (linear-propagation) view
+/// of how many witness dimensions a circuit leaves free.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DofAccount {
+    /// Allocated variables.
+    pub variables: usize,
+    /// Copy classes that occupy at least one gate slot or hold a public
+    /// input (classes the proof can see at all).
+    pub copy_classes: usize,
+    /// Gadget gates (pre-build: no PI rows, no padding).
+    pub gates: usize,
+    /// Gates with `q_M = 0` (purely linear).
+    pub linear_gates: usize,
+    /// Gates with `q_M ≠ 0`.
+    pub nonlinear_gates: usize,
+    /// Public inputs `ℓ`.
+    pub public_inputs: usize,
+    /// Classes fixed to a constant by a direct single-wire pin gate.
+    pub pinned_classes: usize,
+    /// Classes additionally determined by linear constant propagation.
+    pub propagated_classes: usize,
+    /// Classes containing a public input (bound by the statement).
+    pub statement_classes: usize,
+    /// Upper bound on residual witness degrees of freedom: visible classes
+    /// neither constant-determined nor statement-bound. These are the
+    /// legitimate secrets (plaintexts, keys, openings) — the account makes
+    /// an unexplained jump reviewable across revisions.
+    pub free_classes: usize,
+}
+
+impl DofAccount {
+    /// JSON encoding of the account.
+    pub fn to_value(&self) -> Value {
+        Value::object()
+            .with("variables", self.variables)
+            .with("copy_classes", self.copy_classes)
+            .with("gates", self.gates)
+            .with("linear_gates", self.linear_gates)
+            .with("nonlinear_gates", self.nonlinear_gates)
+            .with("public_inputs", self.public_inputs)
+            .with("pinned_classes", self.pinned_classes)
+            .with("propagated_classes", self.propagated_classes)
+            .with("statement_classes", self.statement_classes)
+            .with("free_classes", self.free_classes)
+    }
+}
+
+/// The full analysis result for one circuit.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// All findings, sorted most-severe first (stable within a severity).
+    pub findings: Vec<Finding>,
+    /// The degrees-of-freedom account.
+    pub dof: DofAccount,
+}
+
+impl Analysis {
+    /// Findings at or above `threshold`.
+    pub fn at_or_above(&self, threshold: Severity) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.severity >= threshold)
+    }
+
+    /// Count of findings per severity: `(error, warning, info)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for f in &self.findings {
+            match f.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warning => c.1 += 1,
+                Severity::Info => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_roundtrips() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        for s in [Severity::Info, Severity::Warning, Severity::Error] {
+            assert_eq!(Severity::parse(s.label()), Some(s));
+        }
+        assert_eq!(Severity::parse("fatal"), None);
+    }
+
+    #[test]
+    fn finding_encodes_optional_locations() {
+        let f = Finding::new(LintClass::DeadGate, "all-zero selectors".into()).at_gate(3);
+        let v = f.to_value();
+        assert_eq!(v.get("class").and_then(Value::as_str), Some("dead-gate"));
+        assert_eq!(v.get("severity").and_then(Value::as_str), Some("warning"));
+        assert_eq!(v.get("gate").and_then(Value::as_u64), Some(3));
+        assert!(v.get("variable").is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! `zkdet-lint` — static soundness analysis for the ZKDET constraint
+//! systems.
+//!
+//! PLONK's failure mode is silent: a circuit that *under*-constrains still
+//! proves and verifies, it just proves less than the author wrote. This
+//! crate is the counterweight — a witness-independent static pass over a
+//! pre-build [`zkdet_plonk::CircuitBuilder`] (public-input rows and padding
+//! are a `build()` concern, not part of a gadget's structure) that reports:
+//!
+//! * [`analyzer::analyze`] — the lint pass: unconstrained variables,
+//!   under-constrained public inputs, unreachable copy classes, dead gates,
+//!   unsatisfiable gates (via linear constant propagation), duplicate
+//!   constants, plus a degrees-of-freedom account;
+//! * [`digest::structural_digest`] — a Poseidon commitment to the circuit
+//!   structure, byte-identical across witnesses for a sound gadget; the
+//!   `circuit_lint` binary diffs digests across two random witnesses per
+//!   registered circuit to detect witness-dependent structure.
+//!
+//! The `circuit_lint` binary walks the `zkdet_circuits::registry()` (the
+//! six protocol circuits: π_e, the three π_t transforms, π_p, π_k), emits a
+//! deterministic JSON report (`zkdet-lint-v1`, via the zkdet-telemetry
+//! codec), and exits non-zero when findings reach a configurable severity —
+//! the CI gate.
+
+#![forbid(unsafe_code)]
+
+pub mod analyzer;
+pub mod digest;
+pub mod finding;
+
+pub use analyzer::{analyze, analyze_at};
+pub use digest::{digest_hex, structural_digest};
+pub use finding::{Analysis, DofAccount, Finding, LintClass, Severity};

@@ -39,6 +39,58 @@ pub(crate) struct GateWires {
     pub c: Variable,
 }
 
+/// Read-only view of one gate row — selectors plus wire variables — for
+/// analysis tooling (`zkdet-lint`). The view exposes the *pre-build* gate
+/// list: public-input rows and power-of-two padding are added by
+/// [`CircuitBuilder::build`] and are not part of a gadget's own structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GateView {
+    /// Left-wire selector `q_L`.
+    pub q_l: Fr,
+    /// Right-wire selector `q_R`.
+    pub q_r: Fr,
+    /// Output-wire selector `q_O`.
+    pub q_o: Fr,
+    /// Multiplication selector `q_M`.
+    pub q_m: Fr,
+    /// Constant selector `q_C`.
+    pub q_c: Fr,
+    /// Variable on the `a` wire.
+    pub a: Variable,
+    /// Variable on the `b` wire.
+    pub b: Variable,
+    /// Variable on the `c` wire.
+    pub c: Variable,
+}
+
+impl GateView {
+    /// Whether the gate equation *reads* the `a` wire (`q_L ≠ 0` or
+    /// `q_M ≠ 0`).
+    pub fn reads_a(&self) -> bool {
+        self.q_l != Fr::ZERO || self.q_m != Fr::ZERO
+    }
+
+    /// Whether the gate equation reads the `b` wire (`q_R ≠ 0` or
+    /// `q_M ≠ 0`).
+    pub fn reads_b(&self) -> bool {
+        self.q_r != Fr::ZERO || self.q_m != Fr::ZERO
+    }
+
+    /// Whether the gate equation reads the `c` wire (`q_O ≠ 0`).
+    pub fn reads_c(&self) -> bool {
+        self.q_o != Fr::ZERO
+    }
+
+    /// Whether every selector is zero — the gate constrains nothing.
+    pub fn is_dead(&self) -> bool {
+        self.q_l == Fr::ZERO
+            && self.q_r == Fr::ZERO
+            && self.q_o == Fr::ZERO
+            && self.q_m == Fr::ZERO
+            && self.q_c == Fr::ZERO
+    }
+}
+
 /// Incremental circuit builder carrying both structure and witness.
 ///
 /// The circuit *structure* (selectors, wiring, public-input count) must not
@@ -105,6 +157,77 @@ impl CircuitBuilder {
     /// Number of allocated variables.
     pub fn variable_count(&self) -> usize {
         self.assignments.len()
+    }
+
+    /// Read-only view of gate `row` (pre-build: no PI rows, no padding).
+    pub fn gate_view(&self, row: usize) -> Option<GateView> {
+        let s = self.selectors.get(row)?;
+        let w = self.wires.get(row)?;
+        Some(GateView {
+            q_l: s.q_l,
+            q_r: s.q_r,
+            q_o: s.q_o,
+            q_m: s.q_m,
+            q_c: s.q_c,
+            a: w.a,
+            b: w.b,
+            c: w.c,
+        })
+    }
+
+    /// Iterates read-only views over every gate, in insertion order.
+    pub fn gate_views(&self) -> impl Iterator<Item = GateView> + '_ {
+        self.selectors
+            .iter()
+            .zip(&self.wires)
+            .map(|(s, w)| GateView {
+                q_l: s.q_l,
+                q_r: s.q_r,
+                q_o: s.q_o,
+                q_m: s.q_m,
+                q_c: s.q_c,
+                a: w.a,
+                b: w.b,
+                c: w.c,
+            })
+    }
+
+    /// The public-input variables, in exposure order.
+    pub fn public_input_variables(&self) -> &[Variable] {
+        &self.public_inputs
+    }
+
+    /// Iterates every allocated variable in allocation order (index order).
+    pub fn variables(&self) -> impl Iterator<Item = Variable> + '_ {
+        (0..self.assignments.len()).map(Variable)
+    }
+
+    /// Appends a gate **without** the witness-satisfaction debug check — a
+    /// deliberately unsound hook for adversarial and lint tests that need
+    /// to construct broken constraint systems (dead gates, contradictions).
+    #[doc(hidden)]
+    pub fn raw_gate(&mut self, a: Variable, b: Variable, c: Variable, q: [Fr; 5]) {
+        self.selectors.push(Selectors {
+            q_l: q[0],
+            q_r: q[1],
+            q_o: q[2],
+            q_m: q[3],
+            q_c: q[4],
+        });
+        self.wires.push(GateWires { a, b, c });
+    }
+
+    /// The copy-class representative of `v` under the current union-find
+    /// state (read-only: no path compression, so usable on `&self`).
+    /// Variables merged via [`CircuitBuilder::assert_equal`] share a
+    /// representative; the representative choice is an implementation
+    /// detail — only *equality* of representatives is meaningful.
+    pub fn copy_representative(&self, v: Variable) -> Variable {
+        let mut i = v.0;
+        while self.parent[i] != i {
+            i = self.parent[i];
+        }
+        Variable(i)
     }
 
     /// The witness value currently assigned to a variable.
@@ -648,6 +771,45 @@ mod tests {
         let mut c = b.build();
         c.assignments[x.0] = Fr::from(3u64);
         assert!(!c.is_satisfied());
+    }
+
+    #[test]
+    fn introspection_views_match_structure() {
+        let mut b = CircuitBuilder::new();
+        let x = b.public_input(Fr::from(3u64));
+        let y = b.alloc(Fr::from(9u64));
+        let m = b.mul(x, x);
+        b.assert_equal(m, y);
+
+        assert_eq!(b.public_input_variables(), &[x]);
+        assert_eq!(b.variables().count(), b.variable_count());
+        assert_eq!(b.gate_views().count(), b.gate_count());
+        assert!(b.gate_view(b.gate_count()).is_none());
+
+        // The mul gate reads a and b (q_M) and c (q_O), and is not dead.
+        let views: Vec<GateView> = b.gate_views().collect();
+        let g = views[b.gate_count() - 1];
+        assert_eq!((g.a, g.b, g.c), (x, x, m));
+        assert!(g.reads_a() && g.reads_b() && g.reads_c());
+        assert!(!g.is_dead());
+
+        // Copy classes: m and y merged, x separate.
+        assert_eq!(b.copy_representative(m), b.copy_representative(y));
+        assert_ne!(b.copy_representative(x), b.copy_representative(y));
+    }
+
+    #[test]
+    fn raw_gate_bypasses_satisfaction_check() {
+        let mut b = CircuitBuilder::new();
+        let x = b.alloc(Fr::from(2u64));
+        // 1·x + 1 = 0 is false for x = 2; raw_gate must still accept it.
+        b.raw_gate(
+            x,
+            b.zero(),
+            b.zero(),
+            [Fr::ONE, Fr::ZERO, Fr::ZERO, Fr::ZERO, Fr::ONE],
+        );
+        assert!(!b.build().is_satisfied());
     }
 
     #[test]

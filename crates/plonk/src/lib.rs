@@ -33,6 +33,8 @@
 //! assert!(Plonk::verify(&vk, &[Fr::from(35u64)], &proof));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod builder;
 mod preprocess;
 mod proof;
@@ -40,7 +42,7 @@ mod prover;
 mod transcript;
 mod verifier;
 
-pub use builder::{CircuitBuilder, CompiledCircuit, Variable};
+pub use builder::{CircuitBuilder, CompiledCircuit, GateView, Variable};
 pub use preprocess::{PlonkError, ProvingKey, VerifyingKey};
 pub use proof::Proof;
 pub use transcript::Transcript;

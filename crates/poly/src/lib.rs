@@ -19,6 +19,8 @@
 //! assert_eq!(DensePolynomial::from_coefficients(back), p);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod domain;
 mod polynomial;
 

@@ -27,6 +27,8 @@
 //! the verification modes; `zkdet.provenance.*` counters and
 //! `provenance.*` spans report cache hit-rates and batch shapes.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod digest;
 pub mod export;

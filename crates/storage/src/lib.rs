@@ -22,6 +22,8 @@
 //! backoff on the simulated clock, hedged replica probes, and quarantine
 //! of nodes caught serving corrupt bytes.
 
+#![forbid(unsafe_code)]
+
 mod cid;
 mod dht;
 mod fault;

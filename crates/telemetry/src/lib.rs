@@ -20,6 +20,8 @@
 //! `<crate>.<operation>[.<phase>]` (e.g. `plonk.prove.round3.quotient`),
 //! metrics are `zkdet.<crate>.<unit>` (e.g. `zkdet.kzg.commit.calls`).
 
+#![forbid(unsafe_code)]
+
 mod export;
 mod json;
 mod metrics;

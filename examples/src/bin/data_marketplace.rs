@@ -12,6 +12,8 @@
 //! cargo run --release -p zkdet-examples --bin data_marketplace
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::{rngs::StdRng, SeedableRng};
 use zkdet_circuits::exchange::RangePredicate;
 use zkdet_core::Marketplace;

@@ -6,6 +6,8 @@
 //! cargo run --release -p zkdet-examples --bin fairswap_dispute
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::{rngs::StdRng, SeedableRng};
 use zkdet_core::Marketplace;
 use zkdet_crypto::mimc::MimcCtr;

@@ -10,6 +10,8 @@
 //! cargo run --release -p zkdet-examples --bin model_training
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use zkdet_circuits::apps::logreg::{train_until_converged, LogRegWitness, LogisticRegressionCircuit};
 use zkdet_core::{Dataset, Marketplace};

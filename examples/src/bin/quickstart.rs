@@ -5,6 +5,8 @@
 //! cargo run --release -p zkdet-examples --bin quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::{rngs::StdRng, SeedableRng};
 use zkdet_core::Marketplace;
 use zkdet_examples::{banner, readings};

@@ -9,6 +9,8 @@
 //! cargo run --release -p zkdet-examples --bin zkcp_vs_zkdet
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::{rngs::StdRng, SeedableRng};
 use zkdet_circuits::exchange::RangePredicate;
 use zkdet_core::Marketplace;

@@ -9,6 +9,8 @@
 //! * `zkcp_vs_zkdet` — both exchange protocols side by side, demonstrating
 //!   the key leak ZKDET eliminates.
 
+#![forbid(unsafe_code)]
+
 use zkdet_core::Dataset;
 use zkdet_field::Fr;
 

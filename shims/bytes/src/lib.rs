@@ -5,6 +5,8 @@
 //! bumps, exactly the property the simulated DHT relies on when replicating
 //! a block to several nodes).
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 /// Cheaply-cloneable immutable byte buffer.

@@ -7,6 +7,8 @@
 //! per-iteration time is printed. No statistics, plots, or baselines —
 //! enough to run `cargo bench` and eyeball relative numbers offline.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export of the std black box (criterion's is equivalent today).

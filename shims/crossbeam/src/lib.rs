@@ -6,6 +6,8 @@
 //! (`scope(|s| ...)` returning `Result`, spawn closures taking a scope
 //! argument).
 
+#![forbid(unsafe_code)]
+
 pub mod thread {
     /// Result of a scope or a joined thread (the error is the panic payload).
     pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;

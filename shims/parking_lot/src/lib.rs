@@ -5,6 +5,8 @@
 //! A poisoned std lock is recovered transparently, matching parking_lot's
 //! "no poisoning" semantics.
 
+#![forbid(unsafe_code)]
+
 pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
 pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;

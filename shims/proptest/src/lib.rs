@@ -7,6 +7,8 @@
 //! reports the assertion message and the case index. Determinism comes from
 //! seeding per test-function name, so failures reproduce exactly.
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;

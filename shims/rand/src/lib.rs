@@ -9,6 +9,8 @@
 //! fault-injection substrate need. It is **not** a CSPRNG; nothing in this
 //! repository requires one (the "cryptography" is a simulation).
 
+#![forbid(unsafe_code)]
+
 pub mod distributions;
 pub mod rngs;
 

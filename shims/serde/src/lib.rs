@@ -7,6 +7,8 @@
 //! `Deserializer`, `de::Error`, `de::DeserializeOwned`) with just enough
 //! structure for the workspace's manual impls and derives to compile.
 
+#![forbid(unsafe_code)]
+
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -10,6 +10,8 @@
 //! The item header is parsed by hand (no syn/quote in the offline image):
 //! just the type name and its generic parameter list.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Parsed shape of the deriving item: name, full generics declaration

@@ -2,6 +2,8 @@
 //! `tests/tests/` and exercise full stacks: field → curve → KZG → PLONK →
 //! circuits → protocols → chain + storage.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
