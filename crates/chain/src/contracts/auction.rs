@@ -117,6 +117,13 @@ impl AuctionContract {
         self.listings.get(&id).ok_or(ChainError::NoSuchListing(id))
     }
 
+    /// Iterates over every listing (order unspecified). Crash recovery
+    /// uses this to re-find a listing whose id was lost with process
+    /// memory, matching on `(seller, token, key_commitment)`.
+    pub fn listings(&self) -> impl Iterator<Item = (ListingId, &Listing)> {
+        self.listings.iter().map(|(id, l)| (*id, l))
+    }
+
     /// Creates a listing (the blockchain layer escrows the token first).
     #[allow(clippy::too_many_arguments)]
     pub fn create(

@@ -109,6 +109,13 @@ impl FairSwapContract {
         self.swaps.get(&id).ok_or(ChainError::NoSuchSwap(id))
     }
 
+    /// Iterates over every swap (order unspecified). Crash recovery uses
+    /// this to re-find a swap whose id was lost with process memory,
+    /// matching on the offer's roots and key hash.
+    pub fn swaps(&self) -> impl Iterator<Item = (SwapId, &Swap)> {
+        self.swaps.iter().map(|(id, s)| (*id, s))
+    }
+
     /// Seller offers a file for sale.
     #[allow(clippy::too_many_arguments)]
     pub fn offer(

@@ -55,6 +55,18 @@ impl Writer {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Writes a u128 as two u64 limbs (low, high — LE throughout).
+    pub fn u128(&mut self, x: u128) {
+        self.u64(x as u64);
+        self.u64((x >> 64) as u64);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.raw(s.as_bytes());
+    }
+
     /// Writes a G1 point in the canonical fixed 65-byte wire encoding
     /// (flag + x + y, identity zero-padded) so the byte layout of every
     /// artefact is position-independent of point values.
@@ -118,6 +130,29 @@ impl<'a> Reader<'a> {
     /// Reads a byte.
     pub fn u8(&mut self) -> Result<u8, ZkdetError> {
         Ok(self.take(1)?[0])
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn raw_bytes(&mut self, n: usize) -> Result<&'a [u8], ZkdetError> {
+        self.take(n)
+    }
+
+    /// Reads a u128 written as two u64 limbs (low, high).
+    pub fn u128(&mut self) -> Result<u128, ZkdetError> {
+        let lo = self.u64()?;
+        let hi = self.u64()?;
+        Ok(u128::from(lo) | (u128::from(hi) << 64))
+    }
+
+    /// Reads a length-prefixed UTF-8 string (capped at 2²⁰ bytes).
+    pub fn string(&mut self) -> Result<String, ZkdetError> {
+        let n = self.u64()?;
+        if n > 1 << 20 {
+            return Err(ZkdetError::Codec(format!("string too long: {n}")));
+        }
+        let bytes = self.take(n as usize)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ZkdetError::Codec("non-UTF-8 string".into()))
     }
 
     /// Reads a canonical scalar-field element.

@@ -58,6 +58,11 @@ pub enum ZkdetError {
     /// (off-curve point, non-canonical scalar, wrong length). Adversarial
     /// by definition — **never** classified transient, never retried.
     Wire(WireError),
+    /// The write-ahead exchange journal failed (DESIGN.md §13).
+    /// [`zkdet_wal::WalError::Crashed`] is the simulated process death the
+    /// chaos harness injects; a checksum or framing failure means the
+    /// durable journal itself cannot be trusted.
+    Journal(zkdet_wal::WalError),
 }
 
 impl core::fmt::Display for ZkdetError {
@@ -75,6 +80,7 @@ impl core::fmt::Display for ZkdetError {
             ZkdetError::MissingSecret(t) => write!(f, "no seller secrets for token {t}"),
             ZkdetError::Protocol(what) => write!(f, "protocol misuse: {what}"),
             ZkdetError::Wire(e) => write!(f, "hostile wire input: {e}"),
+            ZkdetError::Journal(e) => write!(f, "exchange journal: {e}"),
         }
     }
 }
@@ -93,6 +99,11 @@ impl ZkdetError {
     ///   [`ChainError::MalformedCalldata`]) maps to
     ///   [`Recovery::AbortAndRefund`] — it is adversarial, not flaky, so a
     ///   retry would replay the hostile bytes; aborting preserves escrow.
+    /// - A journal **crash** ([`zkdet_wal::WalError::Crashed`]) is
+    ///   [`Recovery::Fatal`]: the process-model is dead and must stop
+    ///   immediately — progress resumes only through
+    ///   `Marketplace::recover`. A corrupt or malformed journal maps to
+    ///   [`Recovery::AbortAndRefund`], like hostile wire input.
     /// - Everything else — rejected proofs, missing secrets, authorisation
     ///   and protocol-state errors — is [`Recovery::Fatal`].
     pub fn recovery(&self) -> Recovery {
@@ -107,6 +118,8 @@ impl ZkdetError {
             ZkdetError::Codec(_) | ZkdetError::Inconsistent(_) | ZkdetError::Wire(_) => {
                 Recovery::AbortAndRefund
             }
+            ZkdetError::Journal(zkdet_wal::WalError::Crashed) => Recovery::Fatal,
+            ZkdetError::Journal(_) => Recovery::AbortAndRefund,
             ZkdetError::Plonk(_)
             | ZkdetError::ProofInvalid(_)
             | ZkdetError::LineageProofInvalid { .. }
@@ -144,5 +157,11 @@ impl From<PlonkError> for ZkdetError {
 impl From<WireError> for ZkdetError {
     fn from(e: WireError) -> Self {
         ZkdetError::Wire(e)
+    }
+}
+
+impl From<zkdet_wal::WalError> for ZkdetError {
+    fn from(e: zkdet_wal::WalError) -> Self {
+        ZkdetError::Journal(e)
     }
 }

@@ -61,10 +61,11 @@ pub struct BuyerSession {
     pub token: TokenId,
     /// Price paid into escrow.
     pub price: Wei,
-    /// The buyer's secret blinding key `k_v`.
-    k_v: Fr,
+    /// The buyer's secret blinding key `k_v` (crate-visible so crash
+    /// recovery can rebuild a session from its journaled `PayIntent`).
+    pub(crate) k_v: Fr,
     /// The on-chain commitment `c_d` of the dataset (for final checks).
-    expected_commitment: Fr,
+    pub(crate) expected_commitment: Fr,
 }
 
 impl BuyerSession {
@@ -107,6 +108,19 @@ pub struct ExchangeReport {
 /// Recovery attempts [`Marketplace::drive_exchange_to_completion`] makes
 /// against a settled listing before declaring the artefacts unrecoverable.
 pub const MAX_RECOVER_ATTEMPTS: u32 = 8;
+
+/// A proved-but-unsubmitted settlement: the output of the prove step,
+/// the input of the submit step. Journaled flows crash-test the boundary
+/// between the two.
+#[derive(Clone, Debug)]
+pub struct SettlementSubmission {
+    /// The listing being settled.
+    pub listing: ListingId,
+    /// The blinded key `k_c = k + k_v`.
+    pub k_c: Fr,
+    /// The key-negotiation proof `π_k`.
+    pub proof: Proof,
+}
 
 impl Marketplace {
     /// Seller lists a token in a clock auction. The arbiter (auction
@@ -235,19 +249,35 @@ impl Marketplace {
         rng: &mut R,
     ) -> Result<(), ZkdetError> {
         let _span = zkdet_telemetry::span("exchange.settle");
+        match self.seller_prove_settlement(owner, seller_listing, buyer_k_v, rng)? {
+            // Already settled: idempotent success.
+            None => Ok(()),
+            Some(submission) => self.seller_submit_settlement(owner.address, &submission),
+        }
+    }
+
+    /// The prove half of [`Marketplace::seller_settle`]: checks the lock,
+    /// derives `k_c` and produces `π_k` — **no side effect**. Returns
+    /// `None` if the listing already settled (idempotency: an earlier
+    /// submission may have been confirmed, re-orged and replayed — the
+    /// chain's settlement journal guarantees no funds move twice).
+    pub fn seller_prove_settlement<R: Rng + ?Sized>(
+        &mut self,
+        owner: &DataOwner,
+        seller_listing: &SellerListing,
+        buyer_k_v: Fr,
+        rng: &mut R,
+    ) -> Result<Option<SettlementSubmission>, ZkdetError> {
+        let _span = zkdet_telemetry::span("exchange.prove_settlement");
         let secret = owner
             .secret(seller_listing.token)
             .ok_or(ZkdetError::MissingSecret(seller_listing.token))?;
-        // Idempotency: if an earlier submission already settled this listing
-        // (it may have been confirmed, re-orged and queued for replay), this
-        // resubmission is a no-op success — the journal guarantees no funds
-        // move twice.
         if self
             .chain
             .settlement_height(self.auction_addr, seller_listing.listing)
             .is_some()
         {
-            return Ok(());
+            return Ok(None);
         }
         // Honest-seller check mirroring Fig. 4: if the buyer's k_v does not
         // match the h_v they locked, abort before proving.
@@ -279,17 +309,32 @@ impl Marketplace {
             &seller_listing.key_opening,
         );
         let proof = Plonk::prove(&self.keyneg_pk, &circuit, rng)?;
+        Ok(Some(SettlementSubmission {
+            listing: seller_listing.listing,
+            k_c,
+            proof,
+        }))
+    }
+
+    /// The submit half of [`Marketplace::seller_settle`]: sends the proved
+    /// `(k_c, π_k)` to the arbiter contract and mines the block. Safe to
+    /// replay — a resubmission after an earlier settle already landed
+    /// (e.g. retried across a re-org) is an idempotent success.
+    pub fn seller_submit_settlement(
+        &mut self,
+        seller: Address,
+        submission: &SettlementSubmission,
+    ) -> Result<(), ZkdetError> {
+        let _span = zkdet_telemetry::span("exchange.submit_settlement");
         match self.chain.auction_settle_key_secure(
             self.auction_addr,
             self.nft_addr,
             self.keyneg_verifier_addr,
-            owner.address,
-            seller_listing.listing,
-            k_c,
-            &proof,
+            seller,
+            submission.listing,
+            submission.k_c,
+            &submission.proof,
         ) {
-            // Resubmission after an earlier settle already landed (e.g. the
-            // seller retried across a re-org): idempotent success.
             Err(zkdet_chain::ChainError::AlreadySettled { .. }) => return Ok(()),
             result => {
                 result?;
@@ -324,11 +369,36 @@ impl Marketplace {
         session: &BuyerSession,
     ) -> Result<Dataset, ZkdetError> {
         let _span = zkdet_telemetry::span("exchange.recover");
+        let (k, ciphertext) = self.buyer_fetch(session)?;
+        self.buyer_decrypt(buyer, session, k, &ciphertext)
+    }
+
+    /// The retrieve half of [`Marketplace::buyer_recover`]: unblinds the
+    /// key and fetches the ciphertext artefacts — no buyer state changes,
+    /// so the journaled flow can crash-test the retrieve/decrypt boundary.
+    pub(crate) fn buyer_fetch(
+        &mut self,
+        session: &BuyerSession,
+    ) -> Result<(Fr, zkdet_crypto::mimc::Ciphertext), ZkdetError> {
         let k_c = self
             .published_k_c(session.listing)
             .ok_or_else(|| ZkdetError::Protocol("listing not settled yet".into()))?;
         let k = k_c - session.k_v;
         let (ciphertext, _bundle) = self.fetch_artefacts(session.token)?;
+        Ok((k, ciphertext))
+    }
+
+    /// The decrypt half of [`Marketplace::buyer_recover`]: decrypts,
+    /// re-encrypt-checks, verifies token ownership and records the learned
+    /// secrets.
+    pub(crate) fn buyer_decrypt(
+        &mut self,
+        buyer: &mut DataOwner,
+        session: &BuyerSession,
+        k: Fr,
+        ciphertext: &zkdet_crypto::mimc::Ciphertext,
+    ) -> Result<Dataset, ZkdetError> {
+        let ciphertext = ciphertext.clone();
         let ctr = MimcCtr::new(k, ciphertext.nonce);
         let plaintext = ctr.decrypt(&ciphertext);
         // Defense in depth: re-encrypt and compare (the ciphertext is bound

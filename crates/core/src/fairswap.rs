@@ -78,6 +78,21 @@ impl Marketplace {
     ) -> Result<(FairSwapSeller, Vec<Fr>), ZkdetError> {
         let key = Fr::random(rng);
         let nonce = Fr::random(rng);
+        self.fairswap_offer_with(contract, seller, data, price, key, nonce)
+    }
+
+    /// [`Marketplace::fairswap_offer`] with caller-supplied key material:
+    /// the journaled flow records the drawn key/nonce *before* the offer
+    /// lands, so a crash-restart replay reproduces identical roots.
+    pub(crate) fn fairswap_offer_with(
+        &mut self,
+        contract: Address,
+        seller: &DataOwner,
+        data: Dataset,
+        price: Wei,
+        key: Fr,
+        nonce: Fr,
+    ) -> Result<(FairSwapSeller, Vec<Fr>), ZkdetError> {
         let ciphertext = MimcCtr::new(key, nonce).encrypt(data.entries());
         let root_c = MerkleTree::new(&ciphertext.blocks).root();
         let root_d = MerkleTree::new(data.entries()).root();

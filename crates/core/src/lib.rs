@@ -34,14 +34,19 @@ pub mod dataset;
 pub mod error;
 pub mod exchange;
 pub mod fairswap;
+pub mod journal;
 pub mod market;
+pub mod recovery;
 pub mod zkcp;
 
 pub use bundle::{ProofBundle, TransformProof};
 pub use dataset::Dataset;
 pub use error::{Recovery, ZkdetError};
 pub use exchange::{
-    BuyerSession, ExchangeOutcome, ExchangeReport, SellerListing, ValidationPackage,
+    BuyerSession, ExchangeOutcome, ExchangeReport, SellerListing, SettlementSubmission,
+    ValidationPackage,
 };
+pub use journal::{ExchangeRecord, ExchangeWal};
+pub use recovery::{RecoveredExchange, RecoveredSwap, RecoveryOutcome, RecoveryReport};
 pub use market::{DataOwner, Marketplace, ProvenanceReport, RobustnessMetrics};
 pub use zkdet_provenance::{AuditCache, NodeId, ProvenanceIndex, VerifyMode};

@@ -26,7 +26,7 @@ use crate::Cid;
 /// Ticks a request to an un-delayed node costs on the simulated clock.
 pub const DEFAULT_LATENCY_TICKS: u64 = 1;
 
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -76,6 +76,13 @@ impl FaultPlan {
             seed,
             ..FaultPlan::default()
         }
+    }
+
+    /// The schedule seed; also salts the retrieval policy's backoff
+    /// jitter so crash-restart replays of the same schedule wait
+    /// identical ticks.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Drops every request with probability `prob` (clamped to `[0, 1]`).

@@ -153,6 +153,13 @@ impl StorageNetwork {
         self.inner.write().clock += ticks;
     }
 
+    /// Re-admits every quarantined node — the operator repaired or
+    /// replaced the corrupt replicas (chaos harnesses call this between
+    /// schedules so one schedule's quarantine doesn't starve the next).
+    pub fn clear_quarantine(&self) {
+        self.inner.write().quarantined.clear();
+    }
+
     /// Nodes currently quarantined for serving corrupt bytes.
     pub fn quarantined_nodes(&self) -> Vec<NodeId> {
         let inner = self.inner.read();
@@ -314,7 +321,10 @@ impl StorageNetwork {
                         break;
                     }
                     if attempt + 1 < budget {
-                        let wait = policy.backoff_for(attempt);
+                        // Salt the jitter with the schedule seed and the
+                        // request nonce so replays wait identical ticks.
+                        let salt = inner.faults.seed() ^ inner.nonce;
+                        let wait = policy.backoff_with_jitter(attempt, salt);
                         inner.clock += wait;
                         backoff_total += wait;
                     }
@@ -614,6 +624,30 @@ mod tests {
         if stats.attempts > 1 {
             assert!(stats.backoff_ticks > 0, "retries must have backed off");
         }
+    }
+
+    #[test]
+    fn jittered_backoff_replays_byte_identical() {
+        // Two fresh networks under the same seeded schedule and the same
+        // jittered policy must wait the same ticks — this is what makes
+        // crash-restart replays of a chaos schedule deterministic.
+        let policy = RetrievalPolicy {
+            max_attempts: 12,
+            jitter_ticks: 5,
+            ..RetrievalPolicy::default()
+        };
+        let run = || {
+            let plan = FaultPlan::seeded(1234).with_global_drop(0.6);
+            let net = StorageNetwork::with_fault_plan(8, plan);
+            let cid = net.publish(PinOwner(1), &b"flaky fetch"[..]);
+            let (bytes, stats) = net.retrieve_resilient(&cid, &policy).unwrap();
+            (bytes.to_vec(), stats, net.now())
+        };
+        let (b1, s1, t1) = run();
+        let (b2, s2, t2) = run();
+        assert_eq!(b1, b2);
+        assert_eq!(s1, s2, "stats (incl. backoff_ticks) must replay exactly");
+        assert_eq!(t1, t2, "simulated clock must replay exactly");
     }
 
     #[test]

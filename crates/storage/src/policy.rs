@@ -19,6 +19,12 @@ pub struct RetrievalPolicy {
     /// A replica answering slower than this many ticks triggers a hedged
     /// probe of the next-closest replica (the faster answer wins).
     pub hedge_latency_ticks: u64,
+    /// Upper bound on the deterministic jitter added to each backoff
+    /// wait. Zero (the default) keeps waits exactly exponential. The
+    /// jitter is a PRF of the fault-plan seed and the request nonce,
+    /// never ambient entropy, so crash-restart replays of the same
+    /// schedule wait identical ticks.
+    pub jitter_ticks: u64,
 }
 
 impl Default for RetrievalPolicy {
@@ -28,6 +34,7 @@ impl Default for RetrievalPolicy {
             base_backoff_ticks: 2,
             max_backoff_ticks: 64,
             hedge_latency_ticks: 8,
+            jitter_ticks: 0,
         }
     }
 }
@@ -40,6 +47,7 @@ impl RetrievalPolicy {
             base_backoff_ticks: 0,
             max_backoff_ticks: 0,
             hedge_latency_ticks: u64::MAX,
+            jitter_ticks: 0,
         }
     }
 
@@ -54,6 +62,21 @@ impl RetrievalPolicy {
             .saturating_mul(factor)
             .min(self.max_backoff_ticks)
     }
+
+    /// [`Self::backoff_for`] plus a deterministic jitter in
+    /// `[0, jitter_ticks]`, derived from `salt` — callers pass the
+    /// fault-plan seed mixed with the request nonce — so every replay of
+    /// the same schedule takes byte-identical waits.
+    pub fn backoff_with_jitter(&self, attempt: u32, salt: u64) -> u64 {
+        let base = self.backoff_for(attempt);
+        if self.jitter_ticks == 0 || base == 0 {
+            return base;
+        }
+        let roll = crate::fault::splitmix64(
+            salt ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        base.saturating_add(roll % (self.jitter_ticks + 1))
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +90,7 @@ mod tests {
             base_backoff_ticks: 2,
             max_backoff_ticks: 16,
             hedge_latency_ticks: 8,
+            jitter_ticks: 0,
         };
         assert_eq!(p.backoff_for(0), 2);
         assert_eq!(p.backoff_for(1), 4);
@@ -82,5 +106,45 @@ mod tests {
         let p = RetrievalPolicy::single_shot();
         assert_eq!(p.max_attempts, 1);
         assert_eq!(p.backoff_for(0), 0);
+    }
+
+    #[test]
+    fn zero_jitter_matches_plain_backoff() {
+        let p = RetrievalPolicy::default();
+        for attempt in 0..8 {
+            for salt in [0u64, 1, 42, u64::MAX] {
+                assert_eq!(p.backoff_with_jitter(attempt, salt), p.backoff_for(attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetrievalPolicy {
+            jitter_ticks: 5,
+            ..RetrievalPolicy::default()
+        };
+        for attempt in 0..8 {
+            for salt in 0..64u64 {
+                let base = p.backoff_for(attempt);
+                let w1 = p.backoff_with_jitter(attempt, salt);
+                let w2 = p.backoff_with_jitter(attempt, salt);
+                assert_eq!(w1, w2, "same (attempt, salt) must wait the same");
+                assert!((base..=base + 5).contains(&w1), "wait {w1} out of bounds");
+            }
+        }
+        // Different salts must actually vary the wait somewhere.
+        let spread: std::collections::HashSet<u64> =
+            (0..64u64).map(|s| p.backoff_with_jitter(0, s)).collect();
+        assert!(spread.len() > 1, "jitter never varied");
+    }
+
+    #[test]
+    fn single_shot_stays_inert_under_jitter() {
+        let p = RetrievalPolicy {
+            jitter_ticks: 7,
+            ..RetrievalPolicy::single_shot()
+        };
+        assert_eq!(p.backoff_with_jitter(0, 123), 0);
     }
 }

@@ -1,0 +1,512 @@
+//! # zkdet-wal
+//!
+//! An append-only, checksummed write-ahead journal for exchange state
+//! transitions (DESIGN.md §13). The crate is deliberately payload-agnostic:
+//! it frames opaque byte records; the typed exchange records and their
+//! canonical codec live in `zkdet-core::journal`.
+//!
+//! ## Frame format
+//!
+//! Every record is one frame:
+//!
+//! ```text
+//! [magic: u32 LE = 0x5A57414C "ZWAL"] [seq: u64 LE] [len: u32 LE]
+//! [crc32: u32 LE over seq ‖ len ‖ payload] [payload: len bytes]
+//! ```
+//!
+//! Sequence numbers are dense from 0, so a spliced or reordered journal is
+//! detected structurally, not just by checksum.
+//!
+//! ## Torn tails vs. corruption
+//!
+//! The durability model is prefix-atomicity: a crash mid-append leaves a
+//! *prefix* of the frame on disk. Replay therefore distinguishes:
+//!
+//! - an **incomplete final frame** (fewer bytes than its header promises,
+//!   or fewer than a header) — a torn write; the tail is dropped, never
+//!   misparsed, and the journal stays appendable;
+//! - a **complete frame whose checksum fails** — corruption; replay
+//!   rejects the journal with [`WalError::Corrupt`], because silently
+//!   dropping an interior record would forge history.
+//!
+//! ## Simulated crashes
+//!
+//! [`Wal::set_crash_after`] installs a kill-switch used by the chaos
+//! harness: the N-th append in this process fails with
+//! [`WalError::Crashed`], optionally leaving a torn prefix of the frame
+//! behind — exactly what a process death mid-write does.
+
+#![forbid(unsafe_code)]
+
+/// Frame magic: `"ZWAL"` interpreted as a little-endian u32.
+pub const MAGIC: u32 = 0x5A57_414C;
+
+/// Bytes in a frame header (magic + seq + len + crc).
+pub const HEADER_BYTES: usize = 4 + 8 + 4 + 4;
+
+/// Upper bound on a single record payload (16 MiB) — a structural guard
+/// against parsing a corrupt length field into a huge allocation.
+pub const MAX_RECORD_BYTES: usize = 1 << 24;
+
+/// Everything that can go wrong appending to or replaying a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The installed crash plan fired: the simulated process died during
+    /// this append. The journal's durable bytes hold everything written
+    /// before the crash (plus a torn prefix under [`CrashMode::Torn`]).
+    Crashed,
+    /// A complete frame failed its checksum — the journal is corrupt at
+    /// the given sequence number and must not be trusted past it.
+    Corrupt {
+        /// Sequence number of the offending frame.
+        seq: u64,
+    },
+    /// Structural damage: bad magic, a sequence gap, or an oversized
+    /// length field in a non-final position.
+    Malformed(String),
+    /// A record payload exceeds [`MAX_RECORD_BYTES`].
+    RecordTooLarge(usize),
+}
+
+impl core::fmt::Display for WalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WalError::Crashed => write!(f, "simulated crash during journal append"),
+            WalError::Corrupt { seq } => {
+                write!(f, "journal record {seq} failed its checksum")
+            }
+            WalError::Malformed(what) => write!(f, "malformed journal: {what}"),
+            WalError::RecordTooLarge(n) => {
+                write!(f, "journal record of {n} bytes exceeds the {MAX_RECORD_BYTES}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// How a simulated crash mangles the in-flight append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// The frame never reaches the durable image.
+    Clean,
+    /// A strict prefix of the frame reaches the durable image — the torn
+    /// write replay must drop.
+    Torn,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CrashPlan {
+    /// Fires on the `after`-th append call of this process (1-based).
+    after: u64,
+    mode: CrashMode,
+}
+
+/// One replayed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Dense sequence number, starting at 0.
+    pub seq: u64,
+    /// The opaque payload.
+    pub payload: Vec<u8>,
+}
+
+/// The journal: a durable byte image plus append state.
+#[derive(Debug, Default)]
+pub struct Wal {
+    buf: Vec<u8>,
+    next_seq: u64,
+    appends_this_open: u64,
+    crash: Option<CrashPlan>,
+}
+
+/// CRC-32 (ISO-HDLC polynomial, reflected), bitwise — small and
+/// dependency-free; this checksum detects torn and flipped bytes, it is
+/// not a cryptographic commitment.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for byte in data {
+        crc ^= u32::from(*byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+impl Wal {
+    /// A fresh, empty journal.
+    pub fn new() -> Self {
+        Wal::default()
+    }
+
+    /// Reopens a journal from its durable byte image (e.g. after a crash).
+    ///
+    /// A torn final frame is dropped; the journal resumes appending at the
+    /// sequence number after the last intact record.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Corrupt`] for a complete frame with a bad checksum,
+    /// [`WalError::Malformed`] for structural damage before the tail.
+    pub fn open(bytes: Vec<u8>) -> Result<Self, WalError> {
+        let records = parse(&bytes)?;
+        let intact_len = records.iter().map(frame_len).sum::<usize>();
+        let next_seq = records.len() as u64;
+        let mut buf = bytes;
+        buf.truncate(intact_len); // drop the torn tail, if any
+        Ok(Wal {
+            buf,
+            next_seq,
+            appends_this_open: 0,
+            crash: None,
+        })
+    }
+
+    /// Appends one record, returning its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::RecordTooLarge`] for oversized payloads and
+    /// [`WalError::Crashed`] when the installed crash plan fires.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, WalError> {
+        if payload.len() > MAX_RECORD_BYTES {
+            return Err(WalError::RecordTooLarge(payload.len()));
+        }
+        self.appends_this_open += 1;
+        let seq = self.next_seq;
+        let frame = encode_frame(seq, payload);
+        if let Some(plan) = self.crash {
+            if self.appends_this_open >= plan.after {
+                if plan.mode == CrashMode::Torn {
+                    // A strict prefix survives: at least one byte, never
+                    // the whole frame.
+                    let torn = (frame.len() / 2).max(1).min(frame.len() - 1);
+                    self.buf.extend_from_slice(&frame[..torn]);
+                }
+                return Err(WalError::Crashed);
+            }
+        }
+        self.buf.extend_from_slice(&frame);
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Replays every intact record.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Wal::open`].
+    pub fn replay(&self) -> Result<Vec<WalRecord>, WalError> {
+        parse(&self.buf)
+    }
+
+    /// The durable byte image — what survives a process death.
+    pub fn durable_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of records durably appended.
+    pub fn record_count(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Installs a simulated crash: the `after`-th append call of this
+    /// process (1-based) fails with [`WalError::Crashed`]. Under
+    /// [`CrashMode::Torn`] the failed append leaves a torn frame prefix in
+    /// the durable image.
+    pub fn set_crash_after(&mut self, after: u64, mode: CrashMode) {
+        self.crash = Some(CrashPlan { after, mode });
+    }
+
+    /// Removes any installed crash plan.
+    pub fn clear_crash(&mut self) {
+        self.crash = None;
+    }
+}
+
+fn frame_len(r: &WalRecord) -> usize {
+    HEADER_BYTES + r.payload.len()
+}
+
+fn encode_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut checked = Vec::with_capacity(12 + payload.len());
+    checked.extend_from_slice(&seq.to_le_bytes());
+    checked.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    checked.extend_from_slice(payload);
+    let crc = crc32(&checked);
+
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&MAGIC.to_le_bytes());
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn parse(bytes: &[u8]) -> Result<Vec<WalRecord>, WalError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut expected_seq = 0u64;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < HEADER_BYTES {
+            // Torn header at the tail: dropped.
+            break;
+        }
+        let magic = read_u32(bytes, pos);
+        if magic != MAGIC {
+            return Err(WalError::Malformed(format!(
+                "bad magic {magic:#010x} at offset {pos}"
+            )));
+        }
+        let seq = read_u64(bytes, pos + 4);
+        if seq != expected_seq {
+            return Err(WalError::Malformed(format!(
+                "sequence gap: expected {expected_seq}, found {seq}"
+            )));
+        }
+        let len = read_u32(bytes, pos + 12) as usize;
+        if len > MAX_RECORD_BYTES {
+            return Err(WalError::Malformed(format!(
+                "record {seq} claims {len} bytes"
+            )));
+        }
+        if remaining < HEADER_BYTES + len {
+            // Torn payload at the tail: dropped. The header parsed, but
+            // prefix-atomicity means this can only be the final frame.
+            break;
+        }
+        let crc_stored = read_u32(bytes, pos + 16);
+        let payload = &bytes[pos + HEADER_BYTES..pos + HEADER_BYTES + len];
+        let mut checked = Vec::with_capacity(12 + len);
+        checked.extend_from_slice(&seq.to_le_bytes());
+        checked.extend_from_slice(&(len as u32).to_le_bytes());
+        checked.extend_from_slice(payload);
+        if crc32(&checked) != crc_stored {
+            return Err(WalError::Corrupt { seq });
+        }
+        out.push(WalRecord {
+            seq,
+            payload: payload.to_vec(),
+        });
+        pos += HEADER_BYTES + len;
+        expected_seq += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use proptest::collection::vec as pvec;
+    use proptest::prelude::*;
+
+    fn sample_payloads() -> Vec<Vec<u8>> {
+        vec![vec![], vec![1], vec![2; 100], b"intent: pay".to_vec()]
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let mut wal = Wal::new();
+        for (i, p) in sample_payloads().iter().enumerate() {
+            assert_eq!(wal.append(p).unwrap(), i as u64);
+        }
+        let records = wal.replay().unwrap();
+        assert_eq!(records.len(), 4);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+            assert_eq!(r.payload, sample_payloads()[i]);
+        }
+    }
+
+    #[test]
+    fn reopen_resumes_sequence() {
+        let mut wal = Wal::new();
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        let mut reopened = Wal::open(wal.durable_bytes().to_vec()).unwrap();
+        assert_eq!(reopened.record_count(), 2);
+        assert_eq!(reopened.append(b"c").unwrap(), 2);
+        assert_eq!(reopened.replay().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn every_truncation_of_final_frame_is_dropped_never_misparsed() {
+        let mut wal = Wal::new();
+        wal.append(b"first record").unwrap();
+        let intact = wal.durable_bytes().len();
+        wal.append(b"second record, torn").unwrap();
+        let full = wal.durable_bytes().to_vec();
+        for cut in intact..full.len() {
+            let torn = full[..cut].to_vec();
+            let reopened = Wal::open(torn).expect("torn tail must not be an error");
+            let records = reopened.replay().unwrap();
+            assert_eq!(records.len(), 1, "cut at {cut} must drop the torn frame");
+            assert_eq!(records[0].payload, b"first record");
+            assert_eq!(reopened.record_count(), 1);
+        }
+    }
+
+    #[test]
+    fn corrupted_complete_record_is_rejected() {
+        let mut wal = Wal::new();
+        wal.append(b"record zero").unwrap();
+        wal.append(b"record one").unwrap();
+        let mut bytes = wal.durable_bytes().to_vec();
+        // Flip one payload byte of the *first* (interior) record.
+        bytes[HEADER_BYTES] ^= 0x40;
+        assert_eq!(Wal::open(bytes).unwrap_err(), WalError::Corrupt { seq: 0 });
+        // Flip one payload byte of the *final* complete record: still a
+        // rejection — only incomplete tails are torn writes.
+        let mut bytes = wal.durable_bytes().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(Wal::open(bytes).unwrap_err(), WalError::Corrupt { seq: 1 });
+    }
+
+    #[test]
+    fn sequence_gap_and_bad_magic_are_malformed() {
+        let mut wal = Wal::new();
+        wal.append(b"zero").unwrap();
+        let mut spliced = wal.durable_bytes().to_vec();
+        // Duplicate the frame: second copy repeats seq 0 → gap.
+        let copy = spliced.clone();
+        spliced.extend_from_slice(&copy);
+        assert!(matches!(
+            Wal::open(spliced).unwrap_err(),
+            WalError::Malformed(_)
+        ));
+        let mut garbled = wal.durable_bytes().to_vec();
+        garbled[0] ^= 0xFF;
+        assert!(matches!(
+            Wal::open(garbled).unwrap_err(),
+            WalError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn clean_crash_writes_nothing_torn_crash_writes_prefix() {
+        let mut wal = Wal::new();
+        wal.append(b"durable").unwrap();
+        let intact = wal.durable_bytes().len();
+
+        wal.set_crash_after(2, CrashMode::Clean);
+        assert_eq!(wal.append(b"lost").unwrap_err(), WalError::Crashed);
+        assert_eq!(wal.durable_bytes().len(), intact);
+
+        let mut wal = Wal::open(wal.durable_bytes().to_vec()).unwrap();
+        wal.set_crash_after(1, CrashMode::Torn);
+        assert_eq!(wal.append(b"torn record").unwrap_err(), WalError::Crashed);
+        assert!(wal.durable_bytes().len() > intact);
+        // The torn image reopens to exactly the pre-crash records.
+        let reopened = Wal::open(wal.durable_bytes().to_vec()).unwrap();
+        assert_eq!(reopened.record_count(), 1);
+        assert_eq!(reopened.replay().unwrap()[0].payload, b"durable");
+    }
+
+    #[test]
+    fn oversized_record_refused() {
+        let mut wal = Wal::new();
+        let huge = vec![0u8; MAX_RECORD_BYTES + 1];
+        assert_eq!(
+            wal.append(&huge).unwrap_err(),
+            WalError::RecordTooLarge(MAX_RECORD_BYTES + 1)
+        );
+        assert_eq!(wal.record_count(), 0);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_roundtrip(payloads in pvec(pvec(any::<u8>(), 0..64), 1..12)) {
+            let mut wal = Wal::new();
+            for p in &payloads {
+                wal.append(p).unwrap();
+            }
+            let records = Wal::open(wal.durable_bytes().to_vec())
+                .unwrap()
+                .replay()
+                .unwrap();
+            prop_assert_eq!(records.len(), payloads.len());
+            for (r, p) in records.iter().zip(&payloads) {
+                prop_assert_eq!(&r.payload, p);
+            }
+        }
+
+        #[test]
+        fn prop_any_truncation_never_misparses(
+            payloads in pvec(pvec(any::<u8>(), 0..48), 1..8),
+            cut_frac in any::<u16>(),
+        ) {
+            let mut wal = Wal::new();
+            for p in &payloads {
+                wal.append(p).unwrap();
+            }
+            let full = wal.durable_bytes().to_vec();
+            let cut = (cut_frac as usize) % (full.len() + 1);
+            let reopened = Wal::open(full[..cut].to_vec()).unwrap();
+            let records = reopened.replay().unwrap();
+            // Replay yields an intact prefix of what was appended.
+            prop_assert!(records.len() <= payloads.len());
+            for (r, p) in records.iter().zip(&payloads) {
+                prop_assert_eq!(&r.payload, p);
+            }
+        }
+
+        #[test]
+        fn prop_single_flip_in_complete_frames_rejected(
+            payloads in pvec(pvec(any::<u8>(), 1..32), 1..6),
+            flip_at in any::<u16>(),
+            flip_bit in 0u8..8u8,
+        ) {
+            let mut wal = Wal::new();
+            for p in &payloads {
+                wal.append(p).unwrap();
+            }
+            let mut bytes = wal.durable_bytes().to_vec();
+            let at = (flip_at as usize) % bytes.len();
+            bytes[at] ^= 1 << flip_bit;
+            // A flipped byte anywhere in a complete journal must surface as
+            // an error — Corrupt (checksum) or Malformed (header fields) —
+            // never as silently different records.
+            match Wal::open(bytes) {
+                Err(WalError::Corrupt { .. }) | Err(WalError::Malformed(_)) => {}
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+                Ok(reopened) => {
+                    // Only legal escape: the flip landed in the final
+                    // frame's *length* field making the tail look torn —
+                    // replay must then be a strict prefix, never altered
+                    // records.
+                    let records = reopened.replay().unwrap();
+                    prop_assert!(records.len() < payloads.len());
+                    for (r, p) in records.iter().zip(&payloads) {
+                        prop_assert_eq!(&r.payload, p);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -7,7 +7,9 @@
 //!   model on a committed dataset and sell the parameters with a proof of
 //!   training;
 //! * `zkcp_vs_zkdet` — both exchange protocols side by side, demonstrating
-//!   the key leak ZKDET eliminates.
+//!   the key leak ZKDET eliminates;
+//! * `crash_recovery` — an exchange dies mid-settlement and resumes from
+//!   the write-ahead journal without double-settling.
 
 #![forbid(unsafe_code)]
 

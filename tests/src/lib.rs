@@ -7,6 +7,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub mod invariants;
 pub mod mutate;
 
 /// Deterministic RNG for integration scenarios.

@@ -24,6 +24,9 @@ use zkdet_core::{Dataset, ExchangeOutcome, Marketplace, Recovery, ZkdetError};
 use zkdet_crypto::commitment::Commitment;
 use zkdet_field::{Field, Fr};
 use zkdet_plonk::{CircuitBuilder, Plonk, Proof};
+use zkdet_tests::invariants::{
+    assert_no_wedged_escrow, assert_paid_exactly_once, assert_terminal_consistent,
+};
 use zkdet_tests::mutate::{single_byte_mutations, structured_proof_mutations, Mutation};
 use zkdet_tests::rng;
 
@@ -269,6 +272,9 @@ fn byzantine_seller_wrong_kc_is_rejected_then_refunded() {
         listing_state(&ex.m, ex.listing.listing),
         ListingState::Open
     ));
+    assert_terminal_consistent(&report);
+    assert_no_wedged_escrow(&ex.m);
+    assert_paid_exactly_once(&ex.m, ex.seller.address, buyer.address, &report.outcome);
 }
 
 /// Scenario 2 — a proof accepted for one listing is replayed on another.
@@ -361,6 +367,8 @@ fn byzantine_proof_replay_across_listings_rejected() {
         m.chain.state.balance(&buyer2.address),
         buyer2_locked + s2.price
     );
+    assert_terminal_consistent(&report);
+    assert_no_wedged_escrow(&m);
 }
 
 /// Scenario 3 — the seller settles twice.
@@ -415,6 +423,13 @@ fn byzantine_double_settle_moves_funds_once() {
         ex.m.buyer_recover(&mut buyer, &ex.session).unwrap(),
         data(&[42])
     );
+    assert_no_wedged_escrow(&ex.m);
+    assert_paid_exactly_once(
+        &ex.m,
+        ex.seller.address,
+        buyer.address,
+        &ExchangeOutcome::Settled,
+    );
 }
 
 /// Scenario 4 — the seller griefs: locks the buyer's payment and walks
@@ -443,6 +458,9 @@ fn byzantine_seller_griefs_until_timeout_buyer_refunded() {
         listing_state(&ex.m, ex.listing.listing),
         ListingState::Open
     ));
+    assert_terminal_consistent(&report);
+    assert_no_wedged_escrow(&ex.m);
+    assert_paid_exactly_once(&ex.m, ex.seller.address, buyer.address, &report.outcome);
 }
 
 /// Scenario 5 — the seller ships malformed calldata.
@@ -519,4 +537,7 @@ fn byzantine_malformed_calldata_rejected_deterministic_gas() {
         ex.m.chain.state.balance(&buyer.address),
         buyer_locked + ex.session.price
     );
+    assert_terminal_consistent(&report);
+    assert_no_wedged_escrow(&ex.m);
+    assert_paid_exactly_once(&ex.m, ex.seller.address, buyer.address, &report.outcome);
 }

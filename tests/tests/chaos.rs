@@ -20,6 +20,7 @@ use zkdet_core::exchange::SellerListing;
 use zkdet_core::{BuyerSession, Dataset, DataOwner, ExchangeOutcome, Marketplace};
 use zkdet_field::Fr;
 use zkdet_storage::{xor_distance, Cid, FaultPlan, NodeId};
+use zkdet_tests::invariants::{assert_no_wedged_escrow, assert_terminal_consistent, INITIAL_BALANCE};
 use zkdet_tests::rng;
 
 /// A marketplace with one published token, listed and locked by the buyer —
@@ -33,9 +34,6 @@ struct LockedExchange {
     session: BuyerSession,
     r: StdRng,
 }
-
-/// Initial balance [`Marketplace::register`] funds accounts with.
-const INITIAL_BALANCE: zkdet_chain::Wei = 1_000_000_000;
 
 fn setup_locked_exchange(seed: u64) -> LockedExchange {
     let mut r = rng(seed);
@@ -82,15 +80,6 @@ fn replicas_closest_first(x: &LockedExchange, cid: &Cid) -> Vec<NodeId> {
     let mut nodes = x.m.storage.replica_nodes(cid);
     nodes.sort_by_key(|n| xor_distance(n, cid));
     nodes
-}
-
-/// The invariant every chaos run must end with: no escrow left behind.
-fn assert_no_wedged_escrow(m: &Marketplace) {
-    assert_eq!(
-        m.chain.state.balance(&m.auction_addr),
-        0,
-        "auction contract must hold zero escrow in any terminal state"
-    );
 }
 
 #[test]
@@ -222,12 +211,10 @@ fn exchange_survives_combined_faults() {
         x.m.drive_exchange_to_completion(&mut x.buyer, &x.session)
             .expect("drive");
     // Whatever the schedule did, the exchange must be terminal and clean.
-    match report.outcome {
-        ExchangeOutcome::Settled => assert_eq!(report.data.as_ref(), Some(&x.data)),
-        ExchangeOutcome::Refunded | ExchangeOutcome::Aborted => {
-            assert!(report.failure.is_some())
-        }
+    if report.outcome == ExchangeOutcome::Settled {
+        assert_eq!(report.data.as_ref(), Some(&x.data));
     }
+    assert_terminal_consistent(&report);
     assert_no_wedged_escrow(&x.m);
 }
 
