@@ -1,0 +1,157 @@
+//! **Storage figure** — availability and repair latency of the
+//! Byzantine-quorum erasure store under node failure (not in the paper,
+//! which assumes a reliable IPFS; the durability layer deserves its own
+//! measurement).
+//!
+//! One sweep over the node-failure fraction of a 12-node cluster running
+//! the default 8-of-4 erasure quorum (`k = 4` data shares, `n = 8` total,
+//! write quorum 6):
+//!
+//! * **availability** — a batch of blobs is published with acknowledged
+//!   writes, `j` nodes are killed, and every blob is read back. Reads
+//!   succeeding with exactly `k` usable shares are counted separately as
+//!   *degraded*; blobs past the `n − k` fault budget are *lost*.
+//! * **repair latency** — [`StorageNetwork::run_pending_repairs`] is
+//!   timed draining the queue the kills left behind: reconstructing each
+//!   damaged blob from its surviving shares and re-spreading fresh ones.
+//!   The post-repair durability census shows how much redundancy the
+//!   pass restored.
+//!
+//! Emits `BENCH_fig_storage.json` (schema `zkdet-bench-v1`).
+//!
+//! ```text
+//! cargo run --release -p zkdet-bench --bin fig_storage [--full|--small]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use rand::Rng;
+
+use zkdet_bench::{bench_rng, fmt_duration, time, BenchReport};
+use zkdet_storage::{Cid, FaultPlan, PinOwner, QuorumConfig, StorageNetwork};
+use zkdet_telemetry::Value;
+
+const NODES: usize = 12;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let small = std::env::args().any(|a| a == "--small");
+    let telemetry_on = zkdet_bench::init_telemetry();
+    let mut rng = bench_rng();
+    let (preset, blobs): (&str, usize) = if full {
+        ("full", 64)
+    } else if small {
+        ("small", 8)
+    } else {
+        ("default", 24)
+    };
+    let config = QuorumConfig::for_cluster(NODES);
+    let mut report = BenchReport::new("fig_storage");
+    report.meta("preset", preset);
+    report.meta("telemetry", telemetry_on);
+    report.meta("nodes", NODES as u64);
+    report.meta("data_shares", u64::from(config.data_shares()));
+    report.meta("total_shares", u64::from(config.total_shares()));
+    report.meta("write_quorum", u64::from(config.write_quorum()));
+    report.meta("blobs", blobs as u64);
+
+    // Deterministic blob corpus, reused at every sweep point.
+    let corpus: Vec<Vec<u8>> = (0..blobs)
+        .map(|i| {
+            let len = 256 + (i * 731) % 3840;
+            (0..len).map(|_| rng.gen()).collect()
+        })
+        .collect();
+
+    println!(
+        "cluster of {NODES} nodes, {}-of-{} erasure quorum (write quorum {})",
+        config.data_shares(),
+        config.total_shares(),
+        config.write_quorum()
+    );
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} {:>6} {:>12} {:>10} {:>14}",
+        "killed", "reads_ok", "degraded", "lost", "avail", "repair", "restored", "full_redundant"
+    );
+
+    // Sweep the failure fraction: 0..=6 of 12 nodes (half the cluster),
+    // straddling the n − k = 4 share-fault budget.
+    let budget = config.total_shares() - config.data_shares();
+    for killed in 0..=(NODES / 2) {
+        let net = StorageNetwork::with_quorum(NODES, config, FaultPlan::none());
+        let (cids, publish_elapsed) = time(|| {
+            corpus
+                .iter()
+                .map(|blob| net.publish(PinOwner(1), blob.as_slice()).expect("acked publish"))
+                .collect::<Vec<Cid>>()
+        });
+        let victims: Vec<_> = net.node_ids().into_iter().take(killed).collect();
+        for id in &victims {
+            net.kill_node(*id);
+        }
+
+        // ---- availability census -------------------------------------
+        let mut reads_ok = 0u64;
+        let mut degraded = 0u64;
+        let mut lost = 0u64;
+        let (_, read_elapsed) = time(|| {
+            for cid in &cids {
+                match net.retrieve_with_stats(cid) {
+                    Ok((bytes, stats)) => {
+                        assert!(cid.matches(&bytes), "reads return the exact bytes");
+                        reads_ok += 1;
+                        if stats.degraded {
+                            degraded += 1;
+                        }
+                    }
+                    Err(_) => lost += 1,
+                }
+            }
+        });
+
+        // ---- repair latency ------------------------------------------
+        let (repair, repair_elapsed) = time(|| net.run_pending_repairs());
+        let fully_redundant = cids
+            .iter()
+            .filter(|cid| {
+                net.durability_report(cid)
+                    .is_some_and(|r| r.fully_redundant())
+            })
+            .count() as u64;
+
+        let avail_pct = reads_ok * 100 / corpus.len() as u64;
+        println!(
+            "{killed:>7} {reads_ok:>9} {degraded:>9} {lost:>9} {avail_pct:>5}% {:>12} {:>10} {fully_redundant:>14}",
+            fmt_duration(repair_elapsed),
+            repair.shares_restored,
+        );
+        if killed <= budget as usize {
+            // One share per node means `j` dead nodes cost at most `j`
+            // shares per blob, so inside the n − k budget nothing may be
+            // lost — the figure doubles as an acceptance check.
+            assert_eq!(lost, 0, "{killed} dead nodes must not lose any blob");
+        }
+        report.row(
+            Value::object()
+                .with("killed_nodes", killed as u64)
+                .with("failure_pct", (killed * 100 / NODES) as u64)
+                .with("blobs", corpus.len() as u64)
+                .with("publish_micros", publish_elapsed.as_micros() as u64)
+                .with("read_micros", read_elapsed.as_micros() as u64)
+                .with("reads_ok", reads_ok)
+                .with("degraded_reads", degraded)
+                .with("lost", lost)
+                .with("availability_pct", avail_pct)
+                .with("repair_micros", repair_elapsed.as_micros() as u64)
+                .with("contents_repaired", repair.contents_repaired)
+                .with("shares_restored", repair.shares_restored)
+                .with("unrecoverable", repair.unrecoverable.len() as u64)
+                .with("fully_redundant_after", fully_redundant),
+        );
+    }
+
+    match report.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artefact: {e}"),
+    }
+}

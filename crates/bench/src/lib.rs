@@ -11,6 +11,8 @@
 //! | `ablation_decoupling` | §IV-B proof-decoupling saving (design-choice ablation) |
 //! | `ablation_primitives` | §IV-C circuit-friendly-primitive saving (ablation) |
 //! | `fig_audit` | lineage audit cost: serial vs. batched vs. parallel vs. cached |
+//! | `fig_recovery` | crash-recovery latency vs. crash point and journal length |
+//! | `fig_storage` | quorum availability and repair latency vs. node-failure fraction |
 //!
 //! Criterion benches (`cargo bench -p zkdet-bench`) cover the same pipeline
 //! at reduced sizes plus substrate micro-benchmarks (MSM, FFT, pairing,

@@ -91,10 +91,14 @@ impl ZkdetError {
     /// - Storage faults that are transient by nature ([`StorageError::is_transient`])
     ///   and a [`ChainError::RefundTooEarly`] both map to [`Recovery::Transient`].
     /// - Content that is definitively gone or tampered with
-    ///   ([`StorageError::NotFound`], [`StorageError::DigestMismatch`]) and
+    ///   ([`StorageError::NotFound`], [`StorageError::DigestMismatch`]), a
+    ///   blob whose erasure quorum collapsed past the `n − k` fault budget
+    ///   ([`StorageError::QuorumLoss`]), a publish that failed its
+    ///   durability quorum ([`StorageError::InsufficientAcks`]), and
     ///   artefacts that fail decoding or contradict on-chain records map to
     ///   [`Recovery::AbortAndRefund`]: the data will not materialise, but
-    ///   escrow can still be reclaimed.
+    ///   escrow can still be reclaimed — a seller's dataset vanishing
+    ///   mid-exchange ends in refund, never a wedge.
     /// - Malformed wire input ([`ZkdetError::Wire`],
     ///   [`ChainError::MalformedCalldata`]) maps to
     ///   [`Recovery::AbortAndRefund`] — it is adversarial, not flaky, so a
@@ -110,7 +114,11 @@ impl ZkdetError {
         match self {
             ZkdetError::Storage(e) if e.is_transient() => Recovery::Transient,
             ZkdetError::Storage(StorageError::NotFound(_))
-            | ZkdetError::Storage(StorageError::DigestMismatch(_)) => Recovery::AbortAndRefund,
+            | ZkdetError::Storage(StorageError::DigestMismatch(_))
+            | ZkdetError::Storage(StorageError::QuorumLoss { .. })
+            | ZkdetError::Storage(StorageError::InsufficientAcks { .. }) => {
+                Recovery::AbortAndRefund
+            }
             ZkdetError::Storage(_) => Recovery::Fatal,
             ZkdetError::Chain(ChainError::RefundTooEarly { .. }) => Recovery::Transient,
             ZkdetError::Chain(ChainError::MalformedCalldata(_)) => Recovery::AbortAndRefund,

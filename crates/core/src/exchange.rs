@@ -456,7 +456,12 @@ impl Marketplace {
     ///   or `locked_at + REFUND_TIMEOUT_BLOCKS` passes, at which point the
     ///   escrow is reclaimed ([`ExchangeOutcome::Refunded`]);
     /// - [`crate::error::Recovery::Fatal`] errors (proof or protocol
-    ///   violations) propagate as `Err` immediately.
+    ///   violations) propagate as `Err` immediately;
+    /// - every iteration ticks the storage layer's deterministic repair
+    ///   scheduler ([`crate::market::Marketplace::tick_storage_repairs`]),
+    ///   so erasure shares lost to churn or Byzantine corruption are
+    ///   re-placed while the exchange is still in flight — a degraded read
+    ///   on one attempt can find full redundancy restored on the next.
     pub fn drive_exchange_to_completion(
         &mut self,
         buyer: &mut DataOwner,
@@ -471,6 +476,7 @@ impl Marketplace {
             // Last write wins, so the finished span carries final values.
             drive_span.record("recover_attempts", u64::from(recover_attempts));
             drive_span.record("blocks_waited", blocks_waited);
+            self.tick_storage_repairs();
             if self.published_k_c(session.listing).is_some() {
                 recover_attempts += 1;
                 drive_span.record("recover_attempts", u64::from(recover_attempts));

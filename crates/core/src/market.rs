@@ -103,6 +103,12 @@ pub struct RobustnessMetrics {
     pub quarantined: u64,
     /// Simulated ticks spent in exponential backoff.
     pub backoff_ticks: u64,
+    /// Quorum reads that succeeded with exactly `k` usable shares (zero
+    /// redundancy margin) — served, flagged, and queued for repair.
+    pub degraded_reads: u64,
+    /// Erasure shares re-placed by the background repair scheduler while
+    /// this marketplace drove exchanges.
+    pub repaired_shares: u64,
 }
 
 /// Canonical metric names shared with the storage layer's own
@@ -113,6 +119,8 @@ mod metric {
     pub const HEDGES: &str = "zkdet.storage.retrieve.hedges";
     pub const QUARANTINED: &str = "zkdet.storage.retrieve.quarantined";
     pub const BACKOFF_TICKS: &str = "zkdet.storage.backoff.ticks";
+    pub const DEGRADED: &str = "zkdet.storage.quorum.read.degraded";
+    pub const REPAIRED_SHARES: &str = "zkdet.storage.repair.shares_restored";
 }
 
 /// Cache key for preprocessed circuit shapes.
@@ -173,7 +181,15 @@ impl Marketplace {
         span.record("max_constraints", max_constraints as u64);
         span.record("storage_nodes", storage_nodes as u64);
         let srs = Arc::new(Srs::universal_setup(max_constraints + 8, rng));
-        let storage = StorageNetwork::new(storage_nodes);
+        // Byzantine-quorum storage is the default backend: blobs are
+        // erasure-coded k-of-n with w-ack durability (8/4/6 at ≥ 8 nodes),
+        // so any n − k crashed/corrupt/Byzantine share holders per blob
+        // are survivable and repairable.
+        let storage = StorageNetwork::with_quorum(
+            storage_nodes,
+            zkdet_storage::QuorumConfig::for_cluster(storage_nodes),
+            zkdet_storage::FaultPlan::none(),
+        );
         let mut chain = Blockchain::new();
         let operator = Address::from_seed(0);
         chain.state.fund(operator, 1_000_000_000_000);
@@ -226,6 +242,8 @@ impl Marketplace {
             hedges: self.metrics.counter_value(metric::HEDGES),
             quarantined: self.metrics.counter_value(metric::QUARANTINED),
             backoff_ticks: self.metrics.counter_value(metric::BACKOFF_TICKS),
+            degraded_reads: self.metrics.counter_value(metric::DEGRADED),
+            repaired_shares: self.metrics.counter_value(metric::REPAIRED_SHARES),
         }
     }
 
@@ -424,8 +442,8 @@ impl Marketplace {
         prev_ids: Vec<TokenId>,
     ) -> Result<TokenId, ZkdetError> {
         let _span = zkdet_telemetry::span("market.mint");
-        let cid = self.storage.publish(owner.pin, encode_ciphertext(&ciphertext));
-        let proof_cid = self.storage.publish(owner.pin, bundle.to_bytes());
+        let cid = self.storage.publish(owner.pin, encode_ciphertext(&ciphertext))?;
+        let proof_cid = self.storage.publish(owner.pin, bundle.to_bytes())?;
         let meta = TokenMeta {
             cid,
             commitment: secret.commitment.0,
@@ -681,7 +699,23 @@ impl Marketplace {
             .counter_add(metric::QUARANTINED, u64::from(stats.quarantined));
         self.metrics
             .counter_add(metric::BACKOFF_TICKS, stats.backoff_ticks);
+        if stats.degraded {
+            self.metrics.counter_add(metric::DEGRADED, 1);
+        }
         Ok(bytes)
+    }
+
+    /// Runs the storage layer's deterministic repair scheduler one tick
+    /// and folds any restored shares into the robustness counters. The
+    /// exchange drive loop calls this every iteration, so redundancy lost
+    /// to churn or Byzantine corruption heals while exchanges are in
+    /// flight; it is a cheap no-op when nothing is queued or the repair
+    /// interval has not elapsed on the simulated clock.
+    pub fn tick_storage_repairs(&mut self) {
+        if let Some(report) = self.storage.tick_repairs() {
+            self.metrics
+                .counter_add(metric::REPAIRED_SHARES, report.shares_restored);
+        }
     }
 
     /// Third-party audit (§III-B / Fig. 3): verifies a token's proof of

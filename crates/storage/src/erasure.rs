@@ -1,0 +1,413 @@
+//! Systematic k-of-n Reed–Solomon erasure coding over GF(2^8).
+//!
+//! The quorum storage layer splits every blob into `k` systematic data
+//! shares plus `n − k` parity shares; **any** `k` of the `n` shares
+//! reconstruct the blob exactly. The code is the classic evaluation-style
+//! Reed–Solomon: byte position `j` of the data shares defines a degree
+//! `< k` polynomial by its values at the points `0..k`, and parity share
+//! `m` carries that polynomial's value at point `k + m`. Reconstruction
+//! from any `k` share indices is Lagrange interpolation back to the data
+//! points.
+//!
+//! Everything is deterministic and dependency-free: the GF(2^8) arithmetic
+//! uses the AES-adjacent reduction polynomial `x^8 + x^4 + x^3 + x^2 + 1`
+//! (0x11d) with process-wide exp/log tables. The same inputs always yield
+//! byte-identical shares, which the chaos suites rely on for replays.
+
+use std::sync::OnceLock;
+
+/// Hard ceiling on `n`: evaluation points are distinct bytes.
+pub const MAX_SHARES: usize = 255;
+
+/// Errors surfaced by the erasure codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErasureError {
+    /// `k`/`n` outside `1 ≤ k ≤ n ≤ MAX_SHARES`.
+    BadParameters {
+        /// Requested data-share count `k`.
+        data_shares: usize,
+        /// Requested total-share count `n`.
+        total_shares: usize,
+    },
+    /// Fewer than `k` distinct shares were supplied.
+    NotEnoughShares {
+        /// Distinct shares available.
+        have: usize,
+        /// Shares required (`k`).
+        need: usize,
+    },
+    /// A share's length does not match the expected share length.
+    ShareSizeMismatch {
+        /// Index of the offending share.
+        index: usize,
+        /// Its length.
+        got: usize,
+        /// The length every share of this blob must have.
+        want: usize,
+    },
+    /// A share index is not in `0..n`.
+    ShareIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Total share count `n`.
+        total: usize,
+    },
+}
+
+impl core::fmt::Display for ErasureError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ErasureError::BadParameters {
+                data_shares,
+                total_shares,
+            } => write!(
+                f,
+                "invalid erasure parameters k={data_shares} n={total_shares} \
+                 (need 1 <= k <= n <= {MAX_SHARES})"
+            ),
+            ErasureError::NotEnoughShares { have, need } => {
+                write!(f, "reconstruction needs {need} shares, only {have} supplied")
+            }
+            ErasureError::ShareSizeMismatch { index, got, want } => {
+                write!(f, "share {index} is {got} bytes, expected {want}")
+            }
+            ErasureError::ShareIndexOutOfRange { index, total } => {
+                write!(f, "share index {index} out of range 0..{total}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ErasureError {}
+
+/// Process-wide GF(2^8) exp/log tables (generator 2, reduction 0x11d).
+fn tables() -> &'static ([u8; 510], [u8; 256]) {
+    static TABLES: OnceLock<([u8; 510], [u8; 256])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 510];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for (i, slot) in exp.iter_mut().enumerate().take(255) {
+            *slot = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11d;
+            }
+        }
+        for i in 255..510 {
+            exp[i] = exp[i - 255];
+        }
+        (exp, log)
+    })
+}
+
+/// GF(2^8) multiplication.
+fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let (exp, log) = tables();
+    exp[log[a as usize] as usize + log[b as usize] as usize]
+}
+
+/// GF(2^8) inverse of a non-zero element.
+fn gf_inv(a: u8) -> u8 {
+    let (exp, log) = tables();
+    exp[255 - log[a as usize] as usize]
+}
+
+/// The Lagrange basis coefficient `L_i(t)` for basis points `points`
+/// (all distinct): the weight of value `i` when interpolating at `t`.
+fn lagrange_coeff(t: u8, points: &[u8], i: usize) -> u8 {
+    let mut num = 1u8;
+    let mut den = 1u8;
+    for (j, &pj) in points.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        num = gf_mul(num, t ^ pj);
+        den = gf_mul(den, points[i] ^ pj);
+    }
+    gf_mul(num, gf_inv(den))
+}
+
+/// A systematic `k`-of-`n` Reed–Solomon codec.
+#[derive(Clone, Debug)]
+pub struct ErasureCodec {
+    k: usize,
+    n: usize,
+    /// `(n − k) × k` Lagrange coefficient rows: parity share `m` is the
+    /// data shares weighted by `parity_rows[m]`, per byte position.
+    parity_rows: Vec<Vec<u8>>,
+}
+
+impl ErasureCodec {
+    /// A codec with `data_shares = k` and `total_shares = n`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErasureError::BadParameters`] unless `1 ≤ k ≤ n ≤ MAX_SHARES`.
+    pub fn new(data_shares: usize, total_shares: usize) -> Result<Self, ErasureError> {
+        if data_shares == 0 || data_shares > total_shares || total_shares > MAX_SHARES {
+            return Err(ErasureError::BadParameters {
+                data_shares,
+                total_shares,
+            });
+        }
+        let data_points: Vec<u8> = (0..data_shares as u8).collect();
+        let parity_rows = (data_shares..total_shares)
+            .map(|m| {
+                (0..data_shares)
+                    .map(|i| lagrange_coeff(m as u8, &data_points, i))
+                    .collect()
+            })
+            .collect();
+        Ok(ErasureCodec {
+            k: data_shares,
+            n: total_shares,
+            parity_rows,
+        })
+    }
+
+    /// The trivial 1-of-1 codec (replication of the whole blob).
+    /// Infallible; used as the never-taken fallback where a validated
+    /// configuration constructs its codec.
+    pub fn single() -> Self {
+        ErasureCodec {
+            k: 1,
+            n: 1,
+            parity_rows: Vec::new(),
+        }
+    }
+
+    /// `k`: shares required for reconstruction.
+    pub fn data_shares(&self) -> usize {
+        self.k
+    }
+
+    /// `n`: total shares produced.
+    pub fn total_shares(&self) -> usize {
+        self.n
+    }
+
+    /// Length of every share for a blob of `data_len` bytes.
+    pub fn share_len(&self, data_len: usize) -> usize {
+        data_len.div_ceil(self.k)
+    }
+
+    /// Encodes `data` into `n` shares (`k` systematic + `n − k` parity),
+    /// each [`Self::share_len`] bytes (the last data share is zero-padded;
+    /// callers record the true length, e.g. in a share manifest).
+    pub fn encode(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let l = self.share_len(data.len());
+        let mut shares: Vec<Vec<u8>> = (0..self.k)
+            .map(|i| {
+                let mut s = vec![0u8; l];
+                let start = (i * l).min(data.len());
+                let end = ((i + 1) * l).min(data.len());
+                s[..end - start].copy_from_slice(&data[start..end]);
+                s
+            })
+            .collect();
+        for row in &self.parity_rows {
+            let mut p = vec![0u8; l];
+            for (i, &coef) in row.iter().enumerate() {
+                if coef == 0 {
+                    continue;
+                }
+                for (pj, &sj) in p.iter_mut().zip(shares[i].iter()) {
+                    *pj ^= gf_mul(coef, sj);
+                }
+            }
+            shares.push(p);
+        }
+        shares
+    }
+
+    /// Reconstructs the original `data_len` bytes from any `k` distinct
+    /// shares, supplied as `(index, bytes)` pairs (extras beyond the first
+    /// `k` distinct indices are ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`ErasureError::NotEnoughShares`] below `k` distinct indices;
+    /// [`ErasureError::ShareIndexOutOfRange`] /
+    /// [`ErasureError::ShareSizeMismatch`] on malformed input.
+    pub fn reconstruct(
+        &self,
+        shares: &[(usize, impl AsRef<[u8]>)],
+        data_len: usize,
+    ) -> Result<Vec<u8>, ErasureError> {
+        let l = self.share_len(data_len);
+        // First k distinct, validated shares in ascending index order.
+        let mut picked: Vec<(usize, &[u8])> = Vec::with_capacity(self.k);
+        let mut sorted: Vec<(usize, &[u8])> =
+            shares.iter().map(|(i, b)| (*i, b.as_ref())).collect();
+        sorted.sort_by_key(|(i, _)| *i);
+        for (index, bytes) in sorted {
+            if index >= self.n {
+                return Err(ErasureError::ShareIndexOutOfRange {
+                    index,
+                    total: self.n,
+                });
+            }
+            if bytes.len() != l {
+                return Err(ErasureError::ShareSizeMismatch {
+                    index,
+                    got: bytes.len(),
+                    want: l,
+                });
+            }
+            if picked.last().map(|(i, _)| *i) == Some(index) {
+                continue; // duplicate index
+            }
+            picked.push((index, bytes));
+            if picked.len() == self.k {
+                break;
+            }
+        }
+        if picked.len() < self.k {
+            return Err(ErasureError::NotEnoughShares {
+                have: picked.len(),
+                need: self.k,
+            });
+        }
+        let points: Vec<u8> = picked.iter().map(|(i, _)| *i as u8).collect();
+        let mut data = Vec::with_capacity(self.k * l);
+        for target in 0..self.k as u8 {
+            // The data share itself survived: copy it straight through.
+            if let Some((_, bytes)) = picked.iter().find(|(i, _)| *i as u8 == target) {
+                data.extend_from_slice(bytes);
+                continue;
+            }
+            let coeffs: Vec<u8> = (0..self.k)
+                .map(|i| lagrange_coeff(target, &points, i))
+                .collect();
+            let mut shard = vec![0u8; l];
+            for (i, &coef) in coeffs.iter().enumerate() {
+                if coef == 0 {
+                    continue;
+                }
+                for (dj, &sj) in shard.iter_mut().zip(picked[i].1.iter()) {
+                    *dj ^= gf_mul(coef, sj);
+                }
+            }
+            data.extend_from_slice(&shard);
+        }
+        data.truncate(data_len);
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf_field_properties() {
+        // 2 * inv(2) = 1, distributivity spot-checks.
+        for a in 1u16..=255 {
+            assert_eq!(gf_mul(a as u8, gf_inv(a as u8)), 1, "a = {a}");
+        }
+        assert_eq!(gf_mul(0, 17), 0);
+        assert_eq!(gf_mul(1, 17), 17);
+        for (a, b, c) in [(3u8, 7u8, 9u8), (200, 13, 250)] {
+            assert_eq!(
+                gf_mul(a, b ^ c),
+                gf_mul(a, b) ^ gf_mul(a, c),
+                "distributivity"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(ErasureCodec::new(0, 4).is_err());
+        assert!(ErasureCodec::new(5, 4).is_err());
+        assert!(ErasureCodec::new(4, 256).is_err());
+        assert!(ErasureCodec::new(4, 8).is_ok());
+        assert!(ErasureCodec::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn systematic_prefix_is_the_data() {
+        let codec = ErasureCodec::new(4, 8).unwrap();
+        let data: Vec<u8> = (0u8..=99).collect();
+        let shares = codec.encode(&data);
+        assert_eq!(shares.len(), 8);
+        let l = codec.share_len(data.len());
+        for (i, s) in shares.iter().take(4).enumerate() {
+            let start = i * l;
+            let end = ((i + 1) * l).min(data.len());
+            assert_eq!(&s[..end - start], &data[start..end]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_from_parity_only() {
+        let codec = ErasureCodec::new(4, 8).unwrap();
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let shares = codec.encode(&data);
+        let picked: Vec<(usize, &Vec<u8>)> =
+            (4..8).map(|i| (i, &shares[i])).collect();
+        assert_eq!(codec.reconstruct(&picked, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn below_k_rejected() {
+        let codec = ErasureCodec::new(4, 8).unwrap();
+        let data = vec![7u8; 64];
+        let shares = codec.encode(&data);
+        let picked: Vec<(usize, &Vec<u8>)> =
+            (0..3).map(|i| (i, &shares[i])).collect();
+        assert_eq!(
+            codec.reconstruct(&picked, data.len()),
+            Err(ErasureError::NotEnoughShares { have: 3, need: 4 })
+        );
+        // Duplicates of one index do not count as distinct shares.
+        let dupes = vec![(0, &shares[0]), (0, &shares[0]), (1, &shares[1]), (1, &shares[1])];
+        assert!(matches!(
+            codec.reconstruct(&dupes, data.len()),
+            Err(ErasureError::NotEnoughShares { have: 2, need: 4 })
+        ));
+    }
+
+    #[test]
+    fn malformed_shares_rejected() {
+        let codec = ErasureCodec::new(2, 4).unwrap();
+        let data = vec![1u8; 10];
+        let shares = codec.encode(&data);
+        let short = vec![0u8; 1];
+        assert!(matches!(
+            codec.reconstruct(&[(0, &shares[0]), (1, &short)], data.len()),
+            Err(ErasureError::ShareSizeMismatch { index: 1, .. })
+        ));
+        assert!(matches!(
+            codec.reconstruct(&[(0, &shares[0]), (9, &shares[1])], data.len()),
+            Err(ErasureError::ShareIndexOutOfRange { index: 9, total: 4 })
+        ));
+    }
+
+    #[test]
+    fn empty_and_tiny_blobs() {
+        let codec = ErasureCodec::new(4, 8).unwrap();
+        for data in [vec![], vec![0xab], vec![1, 2, 3]] {
+            let shares = codec.encode(&data);
+            let picked: Vec<(usize, &Vec<u8>)> = [1usize, 3, 4, 6]
+                .iter()
+                .map(|&i| (i, &shares[i]))
+                .collect();
+            assert_eq!(codec.reconstruct(&picked, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let c1 = ErasureCodec::new(4, 8).unwrap();
+        let c2 = ErasureCodec::new(4, 8).unwrap();
+        let data: Vec<u8> = (0..200u8).map(|i| i.wrapping_mul(37)).collect();
+        assert_eq!(c1.encode(&data), c2.encode(&data));
+    }
+}

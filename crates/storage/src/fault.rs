@@ -13,7 +13,12 @@
 //! - **replica corruption** — one node's copy of a block serves bytes that
 //!   no longer hash to the CID (the other replicas stay intact);
 //! - **stale provider records** — a node still advertises a block it has
-//!   garbage-collected and answers the fetch with a miss.
+//!   garbage-collected and answers the fetch with a miss;
+//! - **Byzantine share corruption** — a node rewrites *every* erasure
+//!   share it stores, modelling an actively malicious replica rather than
+//!   a single bit-rotted block;
+//! - **ack withholding** — a node stores writes but never acknowledges
+//!   them, starving publishes of their durability quorum.
 //!
 //! The plan is pure data: all randomness is derived from `(seed, request
 //! nonce)`, never from ambient entropy, so chaos tests replay bit-for-bit.
@@ -62,6 +67,10 @@ pub struct FaultPlan {
     corrupt: HashSet<(NodeId, Cid)>,
     /// Provider records that are stale: advertised but gone.
     stale: HashSet<(NodeId, Cid)>,
+    /// Byzantine nodes: every share they serve is corrupted.
+    byzantine: HashSet<NodeId>,
+    /// Nodes that store writes but withhold the durability ack.
+    ack_withhold: HashSet<NodeId>,
 }
 
 impl FaultPlan {
@@ -121,6 +130,21 @@ impl FaultPlan {
         self
     }
 
+    /// `node` is Byzantine: every block or erasure share it serves is
+    /// corrupted (detected per share against the manifest digests, so the
+    /// evidence attributes the exact `(node, content, share)` triple).
+    pub fn with_byzantine_node(mut self, node: NodeId) -> Self {
+        self.byzantine.insert(node);
+        self
+    }
+
+    /// `node` stores writes but never sends the durability ack, so it
+    /// contributes nothing toward a publish's write quorum.
+    pub fn with_ack_withholding(mut self, node: NodeId) -> Self {
+        self.ack_withhold.insert(node);
+        self
+    }
+
     /// `true` when the plan can never alter behaviour.
     pub fn is_inert(&self) -> bool {
         self.global_drop_ppm == 0
@@ -129,6 +153,8 @@ impl FaultPlan {
             && self.crash_at.is_empty()
             && self.corrupt.is_empty()
             && self.stale.is_empty()
+            && self.byzantine.is_empty()
+            && self.ack_withhold.is_empty()
     }
 
     /// Is `node` reachable at simulated time `now`?
@@ -165,7 +191,17 @@ impl FaultPlan {
 
     /// Does `node` serve a corrupted copy of `cid`?
     pub fn corrupts(&self, node: &NodeId, cid: &Cid) -> bool {
-        self.corrupt.contains(&(*node, *cid))
+        self.byzantine.contains(node) || self.corrupt.contains(&(*node, *cid))
+    }
+
+    /// Is `node` Byzantine (corrupting everything it serves)?
+    pub fn is_byzantine(&self, node: &NodeId) -> bool {
+        self.byzantine.contains(node)
+    }
+
+    /// Does `node` withhold durability acks?
+    pub fn withholds_ack(&self, node: &NodeId) -> bool {
+        self.ack_withhold.contains(node)
     }
 
     /// Is `node`'s provider record for `cid` stale?
@@ -217,6 +253,24 @@ mod tests {
         assert!(plan.node_up(&node, 9));
         assert!(!plan.node_up(&node, 10));
         assert!(!plan.node_up(&node, 1_000));
+    }
+
+    #[test]
+    fn byzantine_and_ack_withholding_flavours() {
+        let node = NodeId::from_seed(9);
+        let other = NodeId::from_seed(10);
+        let cid = Cid::from_bytes(b"blob");
+        let plan = FaultPlan::seeded(1)
+            .with_byzantine_node(node)
+            .with_ack_withholding(other);
+        assert!(!plan.is_inert());
+        assert!(plan.is_byzantine(&node));
+        assert!(!plan.is_byzantine(&other));
+        // A Byzantine node corrupts every cid, not just scheduled ones.
+        assert!(plan.corrupts(&node, &cid));
+        assert!(!plan.corrupts(&other, &cid));
+        assert!(plan.withholds_ack(&other));
+        assert!(!plan.withholds_ack(&node));
     }
 
     #[test]

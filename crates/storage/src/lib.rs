@@ -17,21 +17,39 @@
 
 //!
 //! Robustness: a seeded [`FaultPlan`] injects crashes, latency, request
-//! drops, replica corruption, and stale provider records; a
-//! [`RetrievalPolicy`] fights back with bounded retries, exponential
-//! backoff on the simulated clock, hedged replica probes, and quarantine
-//! of nodes caught serving corrupt bytes.
+//! drops, replica corruption, stale provider records, Byzantine share
+//! corruption, and ack withholding; a [`RetrievalPolicy`] fights back with
+//! bounded retries, exponential backoff on the simulated clock, hedged
+//! replica probes, and quarantine of nodes caught serving corrupt bytes.
+//!
+//! Durability: alongside the original full-copy replication, a
+//! Byzantine-quorum backend ([`StorageNetwork::with_quorum`]) erasure-codes
+//! every blob into `n` shares of which any `k` reconstruct it
+//! ([`ErasureCodec`]), binds per-share digests to the content CID
+//! ([`ShareManifest`]) for share-level tamper attribution
+//! ([`TamperEvidence`]), acknowledges writes only after `w` distinct-node
+//! durability acks ([`QuorumConfig`]), serves degraded reads at exactly
+//! `k` live shares, and restores redundancy after churn with a
+//! deterministic repair scheduler ([`StorageNetwork::tick_repairs`]).
 
 #![forbid(unsafe_code)]
 
 mod cid;
 mod dht;
+mod erasure;
 mod fault;
+mod manifest;
 mod network;
 mod policy;
+mod quorum;
 
 pub use cid::Cid;
 pub use dht::{xor_distance, DhtNode, NodeId, K_REPLICATION};
+pub use erasure::{ErasureCodec, ErasureError, MAX_SHARES};
 pub use fault::{FaultPlan, DEFAULT_LATENCY_TICKS};
-pub use network::{PinOwner, RetrievalStats, StorageError, StorageNetwork};
+pub use manifest::{share_key, ManifestError, ShareManifest};
+pub use network::{
+    PinOwner, RetrievalStats, StorageError, StorageNetwork, REPAIR_INTERVAL_TICKS,
+};
 pub use policy::RetrievalPolicy;
+pub use quorum::{DurabilityReport, QuorumConfig, RepairReport, TamperEvidence};

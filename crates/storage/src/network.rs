@@ -1,17 +1,37 @@
 //! The public storage-network API used by the ZKDET protocols.
+//!
+//! Two durability backends share this API:
+//!
+//! - **full-copy replication** ([`StorageNetwork::new`]) — the original
+//!   mode: every blob copied whole to the `K_REPLICATION` XOR-closest
+//!   nodes;
+//! - **Byzantine quorum** ([`StorageNetwork::with_quorum`]) — blobs are
+//!   erasure-coded into `n` shares of which any `k` reconstruct, each
+//!   share digest-bound to the content CID by a [`ShareManifest`], writes
+//!   acknowledged only after `w` distinct-node durability acks, reads
+//!   reconstructing from any `k` shares with share-level tamper
+//!   attribution, and a deterministic repair scheduler restoring
+//!   redundancy after churn.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 
 use crate::dht::{xor_distance, DhtNode, NodeId, ALPHA, K_REPLICATION};
+use crate::erasure::ErasureCodec;
 use crate::fault::FaultPlan;
+use crate::manifest::ShareManifest;
 use crate::policy::RetrievalPolicy;
+use crate::quorum::{DurabilityReport, QuorumConfig, RepairReport, TamperEvidence};
 use crate::Cid;
 
 /// Iterative-lookup hop budget.
 const MAX_LOOKUP_HOPS: usize = 64;
+
+/// Minimum simulated ticks between two background repair passes driven by
+/// [`StorageNetwork::tick_repairs`].
+pub const REPAIR_INTERVAL_TICKS: u64 = 16;
 
 /// Identifier of the party that pinned a block (only the owner may unpin —
 /// "any persisted dataset will not be removed unless explicitly requested
@@ -33,6 +53,29 @@ pub enum StorageError {
     /// Replicas may exist but the retry budget was exhausted on dropped or
     /// unanswered requests — transient by nature, safe to retry later.
     Unavailable(Cid),
+    /// A publish could not gather its durability quorum: fewer than the
+    /// required number of distinct live nodes acknowledged the write. The
+    /// write was rolled back — the data is **not** durable.
+    InsufficientAcks {
+        /// The content that failed to publish.
+        cid: Cid,
+        /// Distinct-node acks received.
+        acked: u32,
+        /// Acks required (`w` in quorum mode, the replication floor
+        /// otherwise).
+        required: u32,
+    },
+    /// Fewer than `k` intact shares of a quorum-published blob survive —
+    /// the fault budget (`n − k`) was exceeded and the content cannot be
+    /// reconstructed without out-of-band restore.
+    QuorumLoss {
+        /// The unreconstructible content.
+        cid: Cid,
+        /// Intact shares found.
+        intact: u32,
+        /// Shares required (`k`).
+        required: u32,
+    },
 }
 
 impl StorageError {
@@ -52,6 +95,22 @@ impl core::fmt::Display for StorageError {
             StorageError::Unavailable(c) => {
                 write!(f, "content {c} unavailable (requests dropped, retries exhausted)")
             }
+            StorageError::InsufficientAcks {
+                cid,
+                acked,
+                required,
+            } => write!(
+                f,
+                "publish of {cid} got {acked} of {required} required durability acks"
+            ),
+            StorageError::QuorumLoss {
+                cid,
+                intact,
+                required,
+            } => write!(
+                f,
+                "content {cid} lost its quorum: {intact} of {required} required shares intact"
+            ),
         }
     }
 }
@@ -75,6 +134,9 @@ pub struct RetrievalStats {
     pub quarantined: u32,
     /// Total simulated ticks spent in exponential backoff.
     pub backoff_ticks: u64,
+    /// Quorum mode only: the read succeeded with exactly `k` usable shares
+    /// — zero redundancy margin. The blob is queued for repair.
+    pub degraded: bool,
 }
 
 struct Inner {
@@ -93,6 +155,18 @@ struct Inner {
     nonce: u64,
     /// Nodes that served corrupt bytes; skipped by resilient lookups.
     quarantined: HashSet<NodeId>,
+    /// Erasure/quorum parameters; `None` = legacy full-copy replication.
+    quorum: Option<QuorumConfig>,
+    /// Share manifests of quorum-published blobs.
+    manifests: HashMap<Cid, ShareManifest>,
+    /// Every CID whose publish was acknowledged (durability promised).
+    acked: Vec<Cid>,
+    /// Share-level tamper evidence gathered by quorum reads.
+    tamper_log: Vec<TamperEvidence>,
+    /// Blobs awaiting a repair pass (damage seen by reads or churn).
+    repair_queue: BTreeSet<Cid>,
+    /// Earliest tick at which [`StorageNetwork::tick_repairs`] runs again.
+    next_repair_due: u64,
 }
 
 /// A simulated content-addressed storage network (IPFS substitute).
@@ -108,6 +182,21 @@ impl StorageNetwork {
     /// routing tables and no faults.
     pub fn new(num_nodes: usize) -> Self {
         Self::with_fault_plan(num_nodes, FaultPlan::none())
+    }
+
+    /// A Byzantine-quorum network: blobs are erasure-coded per `config`,
+    /// published only after `config.write_quorum()` distinct-node acks,
+    /// and read back by reconstructing from any `config.data_shares()`
+    /// intact shares.
+    pub fn with_quorum(num_nodes: usize, config: QuorumConfig, plan: FaultPlan) -> Self {
+        let net = Self::with_fault_plan(num_nodes, plan);
+        net.inner.write().quorum = Some(config);
+        net
+    }
+
+    /// The quorum parameters, or `None` in full-copy replication mode.
+    pub fn quorum_config(&self) -> Option<QuorumConfig> {
+        self.inner.read().quorum
     }
 
     /// [`Self::new`] with a fault schedule installed from the start.
@@ -134,6 +223,12 @@ impl StorageNetwork {
                 clock: 0,
                 nonce: 0,
                 quarantined: HashSet::new(),
+                quorum: None,
+                manifests: HashMap::new(),
+                acked: Vec::new(),
+                tamper_log: Vec::new(),
+                repair_queue: BTreeSet::new(),
+                next_repair_due: 0,
             }),
         }
     }
@@ -181,9 +276,27 @@ impl StorageNetwork {
         out
     }
 
-    /// Publishes a blob: computes its CID and replicates it to the
-    /// `K_REPLICATION` closest nodes. Returns the URI (= CID).
-    pub fn publish(&self, owner: PinOwner, data: impl Into<Bytes>) -> Cid {
+    /// Publishes a blob and returns its URI (= CID) once durability is
+    /// acknowledged.
+    ///
+    /// In full-copy mode the blob is replicated to the `K_REPLICATION`
+    /// XOR-closest **live** nodes and acknowledged only if the full
+    /// replication floor acked the write. In quorum mode the blob is
+    /// erasure-coded into `n` shares placed on distinct live nodes and
+    /// acknowledged only after `w` distinct nodes acked. Either way a
+    /// failed publish is rolled back — this method never reports a CID
+    /// whose durability promise does not hold.
+    ///
+    /// Writes are modelled as retried-until-delivered, so the plan's
+    /// request-drop PRF does not affect them; only crashed nodes (which
+    /// cannot store) and ack-withholding nodes (which store but stay
+    /// silent) deny acks.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::InsufficientAcks`] when too few live nodes
+    /// acknowledged; the write was rolled back.
+    pub fn publish(&self, owner: PinOwner, data: impl Into<Bytes>) -> Result<Cid, StorageError> {
         let data = data.into();
         let mut span = zkdet_telemetry::span("storage.publish");
         if span.is_recording() {
@@ -193,15 +306,17 @@ impl StorageNetwork {
         }
         let cid = Cid::from_bytes(&data);
         let mut inner = self.inner.write();
-        let mut ids: Vec<NodeId> = inner.nodes.keys().copied().collect();
-        ids.sort_by_key(|n| xor_distance(n, &cid));
-        for id in ids.into_iter().take(K_REPLICATION) {
-            if let Some(node) = inner.nodes.get_mut(&id) {
-                node.blocks.insert(cid, data.clone());
+        let result = match inner.quorum {
+            Some(cfg) => publish_quorum(&mut inner, cfg, owner, cid, &data),
+            None => publish_replicated(&mut inner, owner, cid, &data),
+        };
+        if span.is_recording() {
+            span.record("ok", u64::from(result.is_ok()));
+            if result.is_err() {
+                zkdet_telemetry::counter_add("zkdet.storage.publish.rejected", 1);
             }
         }
-        inner.owners.entry(cid).or_insert(owner);
-        cid
+        result
     }
 
     /// Retrieves a blob by iterative XOR-metric lookup from a deterministic
@@ -221,7 +336,9 @@ impl StorageNetwork {
 
     /// [`Self::retrieve`] with lookup statistics.
     pub fn retrieve_with_stats(&self, cid: &Cid) -> Result<(Bytes, RetrievalStats), StorageError> {
-        if self.inner.read().faults.is_inert() {
+        // Quorum reads always take the resilient path: reconstruction,
+        // share verification, and repair enqueueing live there.
+        if self.inner.read().quorum.is_none() && self.inner.read().faults.is_inert() {
             return self.retrieve_plain(cid);
         }
         self.retrieve_resilient(cid, &RetrievalPolicy::single_shot())
@@ -259,6 +376,7 @@ impl StorageNetwork {
                         hedges: 0,
                         quarantined: 0,
                         backoff_ticks: 0,
+                        degraded: false,
                     },
                 ));
             }
@@ -293,14 +411,24 @@ impl StorageNetwork {
     ) -> Result<(Bytes, RetrievalStats), StorageError> {
         let mut span = zkdet_telemetry::span("storage.retrieve");
         let mut inner = self.inner.write();
+        let quorum_mode = inner.quorum.is_some();
+        if quorum_mode && zkdet_telemetry::is_enabled() {
+            zkdet_telemetry::counter_add("zkdet.storage.quorum.read.calls", 1);
+        }
         let mut hedges = 0u32;
         let mut quarantined = 0u32;
         let mut backoff_total = 0u64;
         let mut last_err = StorageError::NotFound(*cid);
         let budget = policy.max_attempts.max(1);
         for attempt in 0..budget {
-            match lookup_once(&mut inner, cid, policy, &mut hedges, &mut quarantined) {
-                Ok((bytes, served_by, hops)) => {
+            let outcome = if quorum_mode {
+                quorum_lookup_once(&mut inner, cid, policy, &mut hedges, &mut quarantined)
+            } else {
+                lookup_once(&mut inner, cid, policy, &mut hedges, &mut quarantined)
+                    .map(|(bytes, served_by, hops)| (bytes, served_by, hops, false))
+            };
+            match outcome {
+                Ok((bytes, served_by, hops, degraded)) => {
                     let stats = RetrievalStats {
                         hops,
                         served_by,
@@ -308,6 +436,7 @@ impl StorageNetwork {
                         hedges,
                         quarantined,
                         backoff_ticks: backoff_total,
+                        degraded,
                     };
                     note_retrieval(&mut span, &stats, true);
                     return Ok((bytes, stats));
@@ -338,6 +467,7 @@ impl StorageNetwork {
             hedges,
             quarantined,
             backoff_ticks: backoff_total,
+            degraded: false,
         };
         note_retrieval(&mut span, &stats, false);
         Err(last_err)
@@ -357,32 +487,151 @@ impl StorageNetwork {
             Some(_) => {}
         }
         inner.owners.remove(cid);
+        // Remove whole-blob copies and, in quorum mode, every share.
+        let share_keys: Vec<Cid> = inner
+            .manifests
+            .remove(cid)
+            .map(|m| (0..m.total_shares()).map(|i| m.share_key(i)).collect())
+            .unwrap_or_default();
         for node in inner.nodes.values_mut() {
             node.blocks.remove(cid);
+            for key in &share_keys {
+                node.blocks.remove(key);
+            }
         }
+        inner.acked.retain(|c| c != cid);
+        inner.repair_queue.remove(cid);
         Ok(())
     }
 
-    /// Kills a node (churn); content replicated elsewhere stays available.
+    /// Kills a node (churn); content replicated elsewhere stays available,
+    /// and every blob that lost a copy or share is queued for repair.
     pub fn kill_node(&self, id: NodeId) {
         let mut inner = self.inner.write();
-        inner.nodes.remove(&id);
+        let Some(dead) = inner.nodes.remove(&id) else {
+            return;
+        };
         for node in inner.nodes.values_mut() {
             node.peers.retain(|p| *p != id);
         }
+        let dead_blocks: HashSet<Cid> = dead.blocks.keys().copied().collect();
+        let damaged: Vec<Cid> = inner
+            .manifests
+            .iter()
+            .filter(|(_, m)| (0..m.total_shares()).any(|i| dead_blocks.contains(&m.share_key(i))))
+            .map(|(content, _)| *content)
+            .chain(
+                inner
+                    .owners
+                    .keys()
+                    .filter(|content| dead_blocks.contains(content))
+                    .copied(),
+            )
+            .collect();
+        inner.repair_queue.extend(damaged);
     }
 
-    /// Nodes currently pinning a CID (diagnostics).
+    /// Nodes currently holding any piece of a CID — whole-blob replicas
+    /// and, in quorum mode, erasure-share holders (diagnostics).
     pub fn replica_nodes(&self, cid: &Cid) -> Vec<NodeId> {
         let inner = self.inner.read();
+        let share_keys: Vec<Cid> = inner
+            .manifests
+            .get(cid)
+            .map(|m| (0..m.total_shares()).map(|i| m.share_key(i)).collect())
+            .unwrap_or_default();
         let mut out: Vec<NodeId> = inner
             .nodes
             .iter()
-            .filter(|(_, n)| n.blocks.contains_key(cid))
+            .filter(|(_, n)| {
+                n.blocks.contains_key(cid) || share_keys.iter().any(|k| n.blocks.contains_key(k))
+            })
             .map(|(id, _)| *id)
             .collect();
         out.sort();
         out
+    }
+
+    /// Every CID whose publish was acknowledged — the durability promise
+    /// the invariant suites hold the network to.
+    pub fn acknowledged_publishes(&self) -> Vec<Cid> {
+        self.inner.read().acked.clone()
+    }
+
+    /// Share-level tamper evidence gathered by quorum reads: which node
+    /// served bad bytes for which share of which content.
+    pub fn tamper_evidence(&self) -> Vec<TamperEvidence> {
+        self.inner.read().tamper_log.clone()
+    }
+
+    /// Point-in-time durability of a published blob: how many share slots
+    /// (or replicas) are intact on live, unquarantined nodes versus how
+    /// many reconstruction needs. `None` if nothing is pinned under `cid`.
+    pub fn durability_report(&self, cid: &Cid) -> Option<DurabilityReport> {
+        let inner = self.inner.read();
+        if let Some(manifest) = inner.manifests.get(cid) {
+            let total = manifest.total_shares();
+            let intact = (0..total)
+                .filter(|i| find_intact_share(&inner, manifest, *i).is_some())
+                .count() as u32;
+            return Some(DurabilityReport {
+                total_shares: total,
+                intact_shares: intact,
+                required_shares: manifest.data_shares(),
+            });
+        }
+        if inner.owners.contains_key(cid) {
+            return Some(DurabilityReport {
+                total_shares: K_REPLICATION.min(inner.nodes.len()).max(1) as u32,
+                intact_shares: intact_replicas(&inner, cid) as u32,
+                required_shares: 1,
+            });
+        }
+        None
+    }
+
+    /// Blobs currently queued for repair.
+    pub fn pending_repairs(&self) -> usize {
+        self.inner.read().repair_queue.len()
+    }
+
+    /// Queues **every** pinned blob for a repair survey — an operator's
+    /// full-sweep anti-entropy pass (blobs found healthy are dequeued for
+    /// free on the next run).
+    pub fn schedule_repair_scan(&self) {
+        let mut inner = self.inner.write();
+        let all: Vec<Cid> = inner
+            .manifests
+            .keys()
+            .chain(inner.owners.keys())
+            .copied()
+            .collect();
+        inner.repair_queue.extend(all);
+    }
+
+    /// Runs the repair pass now, regardless of the scheduler interval:
+    /// every queued blob is surveyed, and damaged ones are re-encoded from
+    /// `k` intact shares with the missing/corrupt shares re-placed on
+    /// live, unquarantined, non-Byzantine nodes.
+    pub fn run_pending_repairs(&self) -> RepairReport {
+        let mut inner = self.inner.write();
+        let now = inner.clock;
+        inner.next_repair_due = now + REPAIR_INTERVAL_TICKS;
+        repair_locked(&mut inner)
+    }
+
+    /// The deterministic background repair scheduler: runs a repair pass
+    /// if damage is queued and at least [`REPAIR_INTERVAL_TICKS`] of
+    /// simulated time passed since the last pass. Drive loops call this
+    /// every iteration; it is a cheap no-op otherwise.
+    pub fn tick_repairs(&self) -> Option<RepairReport> {
+        let mut inner = self.inner.write();
+        if inner.repair_queue.is_empty() || inner.clock < inner.next_repair_due {
+            return None;
+        }
+        let now = inner.clock;
+        inner.next_repair_due = now + REPAIR_INTERVAL_TICKS;
+        Some(repair_locked(&mut inner))
     }
 
     /// Adversarial test hook: marks a block as corrupted on *every* replica
@@ -420,6 +669,9 @@ fn note_retrieval(
         u64::from(stats.quarantined),
     );
     zkdet_telemetry::counter_add("zkdet.storage.backoff.ticks", stats.backoff_ticks);
+    if stats.degraded {
+        zkdet_telemetry::counter_add("zkdet.storage.quorum.read.degraded", 1);
+    }
     if !ok {
         zkdet_telemetry::counter_add("zkdet.storage.retrieve.failures", 1);
     }
@@ -505,6 +757,507 @@ fn lookup_once(
     }
 }
 
+/// Live (not plan-crashed), unquarantined nodes, XOR-sorted towards `key`.
+fn live_nodes_towards(inner: &Inner, key: &Cid) -> Vec<NodeId> {
+    let mut ids: Vec<NodeId> = inner
+        .nodes
+        .keys()
+        .filter(|n| !inner.quarantined.contains(n) && inner.faults.node_up(n, inner.clock))
+        .copied()
+        .collect();
+    ids.sort_by_key(|n| xor_distance(n, key));
+    ids
+}
+
+/// Full-copy publish: replicate to the `K_REPLICATION` closest live nodes
+/// and require the whole replication floor to ack.
+fn publish_replicated(
+    inner: &mut Inner,
+    owner: PinOwner,
+    cid: Cid,
+    data: &Bytes,
+) -> Result<Cid, StorageError> {
+    let targets: Vec<NodeId> = live_nodes_towards(inner, &cid)
+        .into_iter()
+        .take(K_REPLICATION)
+        .collect();
+    let mut acked = 0u32;
+    let mut placed: Vec<NodeId> = Vec::new();
+    for id in &targets {
+        if let Some(node) = inner.nodes.get_mut(id) {
+            if node.blocks.insert(cid, data.clone()).is_none() {
+                placed.push(*id);
+            }
+            if !inner.faults.withholds_ack(id) {
+                acked += 1;
+            }
+        }
+    }
+    let required = K_REPLICATION.min(inner.nodes.len()).max(1) as u32;
+    if acked < required {
+        // Roll back copies this call created: the write is not durable.
+        for id in placed {
+            if let Some(node) = inner.nodes.get_mut(&id) {
+                node.blocks.remove(&cid);
+            }
+        }
+        return Err(StorageError::InsufficientAcks {
+            cid,
+            acked,
+            required,
+        });
+    }
+    inner.owners.entry(cid).or_insert(owner);
+    if !inner.acked.contains(&cid) {
+        inner.acked.push(cid);
+    }
+    Ok(cid)
+}
+
+/// Quorum publish: erasure-code into `n` shares, place each on a distinct
+/// live node (preferring the XOR-closest to the share key), and require
+/// `w` distinct-node acks before acknowledging.
+fn publish_quorum(
+    inner: &mut Inner,
+    cfg: QuorumConfig,
+    owner: PinOwner,
+    cid: Cid,
+    data: &Bytes,
+) -> Result<Cid, StorageError> {
+    if inner.manifests.contains_key(&cid) {
+        // Content-addressed dedup: the identical blob is already durable.
+        inner.owners.entry(cid).or_insert(owner);
+        return Ok(cid);
+    }
+    let codec = cfg.codec();
+    let shares = codec.encode(data);
+    let manifest = ShareManifest::build(cid, &codec, data.len() as u64, &shares);
+    let mut used: HashSet<NodeId> = HashSet::new();
+    let mut ackers: HashSet<NodeId> = HashSet::new();
+    let mut placed: Vec<(NodeId, Cid)> = Vec::new();
+    for (index, share) in shares.iter().enumerate() {
+        let key = manifest.share_key(index as u32);
+        let candidates = live_nodes_towards(inner, &key);
+        // One share per node while nodes last; double up only when the
+        // cluster is smaller than n.
+        let Some(target) = candidates
+            .iter()
+            .find(|c| !used.contains(c))
+            .or_else(|| candidates.first())
+            .copied()
+        else {
+            break; // no live node at all
+        };
+        used.insert(target);
+        if let Some(node) = inner.nodes.get_mut(&target) {
+            if node.blocks.insert(key, Bytes::from(share.clone())).is_none() {
+                placed.push((target, key));
+            }
+            if !inner.faults.withholds_ack(&target) {
+                ackers.insert(target);
+            }
+        }
+    }
+    let acked = ackers.len() as u32;
+    // The write quorum is a distinct-node count, scaled down when the
+    // cluster itself is smaller than w (mirroring for_cluster's floor).
+    let required = cfg.write_quorum().min(inner.nodes.len() as u32).max(1);
+    if zkdet_telemetry::is_enabled() {
+        zkdet_telemetry::counter_add("zkdet.storage.quorum.publish.calls", 1);
+        zkdet_telemetry::counter_add("zkdet.storage.quorum.publish.bytes", data.len() as u64);
+        zkdet_telemetry::counter_add("zkdet.storage.quorum.publish.acks", u64::from(acked));
+    }
+    if acked < required {
+        for (id, key) in placed {
+            if let Some(node) = inner.nodes.get_mut(&id) {
+                node.blocks.remove(&key);
+            }
+        }
+        return Err(StorageError::InsufficientAcks {
+            cid,
+            acked,
+            required,
+        });
+    }
+    inner.manifests.insert(cid, manifest);
+    inner.owners.entry(cid).or_insert(owner);
+    if !inner.acked.contains(&cid) {
+        inner.acked.push(cid);
+    }
+    Ok(cid)
+}
+
+/// One fault-aware quorum read: sweep all `n` share slots, verify every
+/// answered share against the manifest digests (quarantining and
+/// attributing Byzantine servers per share), and reconstruct from any `k`
+/// intact shares. Slow shares count as hedged and are used only if the
+/// fast ones don't reach `k`. Any slot found missing, stale, or corrupt
+/// queues the blob for background repair.
+fn quorum_lookup_once(
+    inner: &mut Inner,
+    cid: &Cid,
+    policy: &RetrievalPolicy,
+    hedges: &mut u32,
+    quarantined: &mut u32,
+) -> Result<(Bytes, NodeId, usize, bool), StorageError> {
+    let Some(manifest) = inner.manifests.get(cid).cloned() else {
+        return Err(StorageError::NotFound(*cid));
+    };
+    let Some(cfg) = inner.quorum else {
+        return Err(StorageError::NotFound(*cid));
+    };
+    let k = cfg.data_shares() as usize;
+    let mut fast: Vec<(usize, Bytes)> = Vec::new();
+    let mut slow: Vec<(usize, Bytes, NodeId)> = Vec::new();
+    let mut served_by: Option<NodeId> = None;
+    let mut contacted = 0usize;
+    let mut dropped_slots = 0usize;
+    let mut saw_corrupt = false;
+    let mut damaged = false;
+    for index in 0..cfg.total_shares() {
+        let key = manifest.share_key(index);
+        let holders: Vec<NodeId> = live_nodes_towards(inner, &key)
+            .into_iter()
+            .filter(|n| inner.nodes[n].blocks.contains_key(&key))
+            .collect();
+        if holders.is_empty() {
+            damaged = true; // lost or crashed-away slot
+            continue;
+        }
+        let mut got = false;
+        let mut dropped_here = false;
+        for node_id in holders {
+            let latency = inner.faults.latency_of(&node_id);
+            inner.clock += latency;
+            contacted += 1;
+            let nonce = inner.nonce;
+            inner.nonce += 1;
+            if !inner.faults.node_up(&node_id, inner.clock) {
+                damaged = true; // crashed mid-sweep
+                continue;
+            }
+            if inner.faults.should_drop(&node_id, nonce) {
+                dropped_here = true;
+                *hedges += 1;
+                continue;
+            }
+            if inner.faults.is_stale(&node_id, cid) || inner.faults.is_stale(&node_id, &key) {
+                // Advertised but garbage-collected: probe the next holder.
+                *hedges += 1;
+                damaged = true;
+                continue;
+            }
+            let Some(bytes) = inner.nodes[&node_id].blocks.get(&key).cloned() else {
+                continue;
+            };
+            let corrupt = inner.corrupted.contains(cid)
+                || inner.faults.corrupts(&node_id, cid)
+                || inner.faults.corrupts(&node_id, &key)
+                || !manifest.verify_share(index, &bytes);
+            if corrupt {
+                saw_corrupt = true;
+                damaged = true;
+                *quarantined += 1;
+                inner.quarantined.insert(node_id);
+                inner.tamper_log.push(TamperEvidence {
+                    node: node_id,
+                    content: *cid,
+                    share_index: index,
+                });
+                if zkdet_telemetry::is_enabled() {
+                    zkdet_telemetry::counter_add("zkdet.storage.quorum.byzantine_shares", 1);
+                }
+                continue;
+            }
+            if latency > policy.hedge_latency_ticks {
+                // Answered, but slower than the hedge threshold: keep the
+                // share in reserve and count the extra probe as a hedge.
+                *hedges += 1;
+                slow.push((index as usize, bytes, node_id));
+            } else {
+                fast.push((index as usize, bytes));
+                if served_by.is_none() {
+                    served_by = Some(node_id);
+                }
+            }
+            got = true;
+            break;
+        }
+        if !got && dropped_here {
+            dropped_slots += 1;
+        }
+    }
+    if damaged {
+        inner.repair_queue.insert(*cid);
+    }
+    let usable = fast.len() + slow.len();
+    if usable < k {
+        // Drops are transient: if undropped answers could have reached k,
+        // report Unavailable so the retry loop gets another pass.
+        return Err(if usable + dropped_slots >= k {
+            StorageError::Unavailable(*cid)
+        } else if saw_corrupt {
+            StorageError::DigestMismatch(*cid)
+        } else {
+            StorageError::QuorumLoss {
+                cid: *cid,
+                intact: usable as u32,
+                required: k as u32,
+            }
+        });
+    }
+    let degraded = usable == k;
+    if degraded && !policy.allow_degraded {
+        return Err(StorageError::Unavailable(*cid));
+    }
+    let mut picked: Vec<(usize, Bytes)> = fast;
+    for (index, bytes, node_id) in slow {
+        if picked.len() >= k {
+            break;
+        }
+        picked.push((index, bytes));
+        if served_by.is_none() {
+            served_by = Some(node_id);
+        }
+    }
+    let data = cfg
+        .codec()
+        .reconstruct(&picked, manifest.data_len() as usize)
+        .map_err(|_| StorageError::QuorumLoss {
+            cid: *cid,
+            intact: usable as u32,
+            required: k as u32,
+        })?;
+    if !cid.matches(&data) {
+        // Belt and braces: per-share digests verified, so the manifest
+        // itself would have to be wrong for this to fire.
+        return Err(StorageError::DigestMismatch(*cid));
+    }
+    let server = served_by.unwrap_or(NodeId([0u8; 32]));
+    Ok((Bytes::from(data), server, contacted, degraded))
+}
+
+/// Read-only survey: the first live, unquarantined node serving an
+/// intact (digest-verified, not plan-corrupted, not stale) copy of share
+/// `index`, or `None` if the slot is damaged.
+fn find_intact_share(
+    inner: &Inner,
+    manifest: &ShareManifest,
+    index: u32,
+) -> Option<(NodeId, Bytes)> {
+    let content = manifest.content();
+    if inner.corrupted.contains(&content) {
+        return None;
+    }
+    let key = manifest.share_key(index);
+    for node_id in live_nodes_towards(inner, &key) {
+        let Some(bytes) = inner.nodes[&node_id].blocks.get(&key) else {
+            continue;
+        };
+        if inner.faults.corrupts(&node_id, &content)
+            || inner.faults.corrupts(&node_id, &key)
+            || inner.faults.is_stale(&node_id, &content)
+            || inner.faults.is_stale(&node_id, &key)
+            || !manifest.verify_share(index, bytes)
+        {
+            continue;
+        }
+        return Some((node_id, bytes.clone()));
+    }
+    None
+}
+
+/// Read-only survey of full-copy replicas: live, unquarantined nodes
+/// serving an intact copy of `cid`.
+fn intact_replicas(inner: &Inner, cid: &Cid) -> usize {
+    if inner.corrupted.contains(cid) {
+        return 0;
+    }
+    live_nodes_towards(inner, cid)
+        .into_iter()
+        .filter(|node_id| {
+            inner.nodes[node_id].blocks.get(cid).is_some_and(|bytes| {
+                !inner.faults.corrupts(node_id, cid)
+                    && !inner.faults.is_stale(node_id, cid)
+                    && cid.matches(bytes)
+            })
+        })
+        .count()
+}
+
+enum RepairOutcome {
+    /// All share slots (or the replication floor) intact; nothing to do.
+    Healthy,
+    /// Damage found and repaired: this many shares/copies re-placed.
+    Restored(u64),
+    /// Fewer than `k` intact shares (or zero intact replicas) remain.
+    Unrecoverable,
+}
+
+/// One repair pass over the queued blobs. Blobs found healthy or repaired
+/// leave the queue; unrecoverable ones leave it too (re-running cannot
+/// help — a later read will re-queue them if the world changes).
+fn repair_locked(inner: &mut Inner) -> RepairReport {
+    let mut span = zkdet_telemetry::span("storage.repair.run");
+    let queue: Vec<Cid> = inner.repair_queue.iter().copied().collect();
+    inner.repair_queue.clear();
+    let mut report = RepairReport::default();
+    for cid in queue {
+        let outcome = if let Some(manifest) = inner.manifests.get(&cid).cloned() {
+            repair_quorum(inner, &cid, &manifest)
+        } else if inner.owners.contains_key(&cid) {
+            repair_replicated(inner, &cid)
+        } else {
+            RepairOutcome::Healthy // unpinned since it was queued
+        };
+        match outcome {
+            RepairOutcome::Healthy => {}
+            RepairOutcome::Restored(shares) => {
+                report.contents_repaired += 1;
+                report.shares_restored += shares;
+            }
+            RepairOutcome::Unrecoverable => report.unrecoverable.push(cid),
+        }
+    }
+    if span.is_recording() || zkdet_telemetry::is_enabled() {
+        span.record("contents_repaired", report.contents_repaired);
+        span.record("shares_restored", report.shares_restored);
+        span.record("unrecoverable", report.unrecoverable.len() as u64);
+        zkdet_telemetry::counter_add("zkdet.storage.repair.runs", 1);
+        zkdet_telemetry::counter_add(
+            "zkdet.storage.repair.shares_restored",
+            report.shares_restored,
+        );
+        zkdet_telemetry::counter_add(
+            "zkdet.storage.repair.unrecoverable",
+            report.unrecoverable.len() as u64,
+        );
+    }
+    report
+}
+
+/// Repairs one quorum blob: survey all `n` slots, reconstruct the blob
+/// from any `k` intact shares, re-encode, and re-place every damaged
+/// share on a live, unquarantined, non-Byzantine node (preferring nodes
+/// not already holding a share of this blob, XOR-closest to the share
+/// key first).
+fn repair_quorum(inner: &mut Inner, cid: &Cid, manifest: &ShareManifest) -> RepairOutcome {
+    let total = manifest.total_shares();
+    let k = manifest.data_shares() as usize;
+    let mut intact: Vec<(usize, Bytes)> = Vec::new();
+    let mut damaged: Vec<u32> = Vec::new();
+    for index in 0..total {
+        match find_intact_share(inner, manifest, index) {
+            Some((_, bytes)) => intact.push((index as usize, bytes)),
+            None => damaged.push(index),
+        }
+    }
+    if damaged.is_empty() {
+        return RepairOutcome::Healthy;
+    }
+    if intact.len() < k {
+        return RepairOutcome::Unrecoverable;
+    }
+    let codec = ErasureCodec::new(manifest.data_shares() as usize, total as usize)
+        .unwrap_or_else(|_| ErasureCodec::single());
+    let Ok(data) = codec.reconstruct(&intact, manifest.data_len() as usize) else {
+        return RepairOutcome::Unrecoverable;
+    };
+    let shares = codec.encode(&data);
+    // Nodes already holding a share of this blob (avoid stacking slots).
+    let mut holding: HashSet<NodeId> = HashSet::new();
+    for index in 0..total {
+        let key = manifest.share_key(index);
+        for (id, node) in &inner.nodes {
+            if node.blocks.contains_key(&key) {
+                holding.insert(*id);
+            }
+        }
+    }
+    let mut restored = 0u64;
+    for index in damaged {
+        let Some(share) = shares.get(index as usize) else {
+            continue;
+        };
+        let key = manifest.share_key(index);
+        let candidates: Vec<NodeId> = live_nodes_towards(inner, &key)
+            .into_iter()
+            .filter(|n| !inner.faults.corrupts(n, cid) && !inner.faults.is_stale(n, cid))
+            .collect();
+        let Some(target) = candidates
+            .iter()
+            .find(|c| !holding.contains(c))
+            .or_else(|| candidates.first())
+            .copied()
+        else {
+            continue; // no eligible node; leave the slot for a later pass
+        };
+        if let Some(node) = inner.nodes.get_mut(&target) {
+            node.blocks.insert(key, Bytes::from(share.clone()));
+            holding.insert(target);
+            restored += 1;
+        }
+    }
+    if restored == 0 {
+        // Damage seen but nowhere to put the repaired shares.
+        inner.repair_queue.insert(*cid);
+        return RepairOutcome::Healthy;
+    }
+    RepairOutcome::Restored(restored)
+}
+
+/// Repairs one full-copy blob back up to the replication floor.
+fn repair_replicated(inner: &mut Inner, cid: &Cid) -> RepairOutcome {
+    let holders: Vec<NodeId> = live_nodes_towards(inner, cid)
+        .into_iter()
+        .filter(|node_id| {
+            inner.nodes[node_id].blocks.get(cid).is_some_and(|bytes| {
+                !inner.faults.corrupts(node_id, cid)
+                    && !inner.faults.is_stale(node_id, cid)
+                    && cid.matches(bytes)
+            })
+        })
+        .collect();
+    if inner.corrupted.contains(cid) || holders.is_empty() {
+        return if inner.owners.contains_key(cid) {
+            RepairOutcome::Unrecoverable
+        } else {
+            RepairOutcome::Healthy
+        };
+    }
+    let floor = K_REPLICATION.min(inner.nodes.len()).max(1);
+    if holders.len() >= floor {
+        return RepairOutcome::Healthy;
+    }
+    let Some(source) = inner
+        .nodes
+        .get(&holders[0])
+        .and_then(|n| n.blocks.get(cid))
+        .cloned()
+    else {
+        return RepairOutcome::Unrecoverable;
+    };
+    let mut count = holders.len();
+    let mut restored = 0u64;
+    for target in live_nodes_towards(inner, cid) {
+        if count >= floor {
+            break;
+        }
+        if holders.contains(&target) {
+            continue;
+        }
+        if let Some(node) = inner.nodes.get_mut(&target) {
+            node.blocks.insert(*cid, source.clone());
+            count += 1;
+            restored += 1;
+        }
+    }
+    if restored == 0 {
+        return RepairOutcome::Healthy;
+    }
+    RepairOutcome::Restored(restored)
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
@@ -515,7 +1268,7 @@ mod tests {
     #[test]
     fn publish_retrieve_roundtrip() {
         let net = StorageNetwork::new(10);
-        let cid = net.publish(PinOwner(1), &b"encrypted dataset bytes"[..]);
+        let cid = net.publish(PinOwner(1), &b"encrypted dataset bytes"[..]).unwrap();
         let got = net.retrieve(&cid).unwrap();
         assert_eq!(&got[..], b"encrypted dataset bytes");
         assert_eq!(net.replica_nodes(&cid).len(), K_REPLICATION);
@@ -524,8 +1277,8 @@ mod tests {
     #[test]
     fn content_addressing_deduplicates() {
         let net = StorageNetwork::new(5);
-        let c1 = net.publish(PinOwner(1), &b"same"[..]);
-        let c2 = net.publish(PinOwner(2), &b"same"[..]);
+        let c1 = net.publish(PinOwner(1), &b"same"[..]).unwrap();
+        let c2 = net.publish(PinOwner(2), &b"same"[..]).unwrap();
         assert_eq!(c1, c2);
     }
 
@@ -539,7 +1292,7 @@ mod tests {
     #[test]
     fn tampering_detected() {
         let net = StorageNetwork::new(5);
-        let cid = net.publish(PinOwner(1), &b"data"[..]);
+        let cid = net.publish(PinOwner(1), &b"data"[..]).unwrap();
         net.corrupt_block(&cid);
         assert_eq!(net.retrieve(&cid), Err(StorageError::DigestMismatch(cid)));
     }
@@ -547,7 +1300,7 @@ mod tests {
     #[test]
     fn only_owner_can_unpin() {
         let net = StorageNetwork::new(5);
-        let cid = net.publish(PinOwner(1), &b"data"[..]);
+        let cid = net.publish(PinOwner(1), &b"data"[..]).unwrap();
         assert_eq!(
             net.unpin(PinOwner(2), &cid),
             Err(StorageError::NotOwner(cid))
@@ -559,7 +1312,7 @@ mod tests {
     #[test]
     fn survives_node_churn_within_replication() {
         let net = StorageNetwork::new(12);
-        let cid = net.publish(PinOwner(1), &b"replicated"[..]);
+        let cid = net.publish(PinOwner(1), &b"replicated"[..]).unwrap();
         let replicas = net.replica_nodes(&cid);
         // Kill all but one replica.
         for id in &replicas[..replicas.len() - 1] {
@@ -574,7 +1327,7 @@ mod tests {
     #[test]
     fn lookup_terminates_on_large_network() {
         let net = StorageNetwork::new(64);
-        let cid = net.publish(PinOwner(1), &b"needle"[..]);
+        let cid = net.publish(PinOwner(1), &b"needle"[..]).unwrap();
         let (_, stats) = net.retrieve_with_stats(&cid).unwrap();
         assert!(stats.hops < 64);
     }
@@ -586,8 +1339,8 @@ mod tests {
         let payloads: Vec<Vec<u8>> = (0u8..8).map(|i| vec![i; 64 + i as usize]).collect();
         let mut cids = Vec::new();
         for payload in &payloads {
-            let c1 = plain.publish(PinOwner(1), payload.clone());
-            let c2 = planned.publish(PinOwner(1), payload.clone());
+            let c1 = plain.publish(PinOwner(1), payload.clone()).unwrap();
+            let c2 = planned.publish(PinOwner(1), payload.clone()).unwrap();
             assert_eq!(c1, c2);
             let (b1, s1) = plain.retrieve_with_stats(&c1).unwrap();
             let (b2, s2) = planned.retrieve_with_stats(&c2).unwrap();
@@ -613,7 +1366,7 @@ mod tests {
         // bounded retries push success probability to ~1 for this seed.
         let plan = FaultPlan::seeded(1234).with_global_drop(0.6);
         let net = StorageNetwork::with_fault_plan(8, plan);
-        let cid = net.publish(PinOwner(1), &b"flaky fetch"[..]);
+        let cid = net.publish(PinOwner(1), &b"flaky fetch"[..]).unwrap();
         let policy = RetrievalPolicy {
             max_attempts: 12,
             ..RetrievalPolicy::default()
@@ -639,7 +1392,7 @@ mod tests {
         let run = || {
             let plan = FaultPlan::seeded(1234).with_global_drop(0.6);
             let net = StorageNetwork::with_fault_plan(8, plan);
-            let cid = net.publish(PinOwner(1), &b"flaky fetch"[..]);
+            let cid = net.publish(PinOwner(1), &b"flaky fetch"[..]).unwrap();
             let (bytes, stats) = net.retrieve_resilient(&cid, &policy).unwrap();
             (bytes.to_vec(), stats, net.now())
         };
@@ -653,7 +1406,7 @@ mod tests {
     #[test]
     fn corrupt_replica_quarantined_and_refetched() {
         let net = StorageNetwork::new(10);
-        let cid = net.publish(PinOwner(1), &b"one bad replica"[..]);
+        let cid = net.publish(PinOwner(1), &b"one bad replica"[..]).unwrap();
         let replicas = net.replica_nodes(&cid);
         // Corrupt the XOR-closest replica: the walk meets it first.
         let plan = FaultPlan::seeded(7).with_corrupt_replica(replicas[0], cid);
@@ -675,7 +1428,7 @@ mod tests {
     #[test]
     fn all_replicas_corrupt_is_fatal_not_retried_forever() {
         let net = StorageNetwork::new(6);
-        let cid = net.publish(PinOwner(1), &b"doomed"[..]);
+        let cid = net.publish(PinOwner(1), &b"doomed"[..]).unwrap();
         let mut plan = FaultPlan::seeded(3);
         for node in net.replica_nodes(&cid) {
             plan = plan.with_corrupt_replica(node, cid);
@@ -691,7 +1444,7 @@ mod tests {
     #[test]
     fn stale_record_skipped_via_hedge() {
         let net = StorageNetwork::new(10);
-        let cid = net.publish(PinOwner(1), &b"stale provider"[..]);
+        let cid = net.publish(PinOwner(1), &b"stale provider"[..]).unwrap();
         let mut by_distance = net.replica_nodes(&cid);
         by_distance.sort_by_key(|n| xor_distance(n, &cid));
         net.set_fault_plan(FaultPlan::seeded(5).with_stale_record(by_distance[0], cid));
@@ -706,7 +1459,7 @@ mod tests {
     #[test]
     fn scheduled_crash_fails_over_to_surviving_replica() {
         let net = StorageNetwork::new(10);
-        let cid = net.publish(PinOwner(1), &b"crash schedule"[..]);
+        let cid = net.publish(PinOwner(1), &b"crash schedule"[..]).unwrap();
         let mut by_distance = net.replica_nodes(&cid);
         by_distance.sort_by_key(|n| xor_distance(n, &cid));
         // Closest replica crashes at tick 0 — dead before any request.
@@ -721,7 +1474,7 @@ mod tests {
     #[test]
     fn slow_replica_hedged() {
         let net = StorageNetwork::new(10);
-        let cid = net.publish(PinOwner(1), &b"slow node"[..]);
+        let cid = net.publish(PinOwner(1), &b"slow node"[..]).unwrap();
         let mut by_distance = net.replica_nodes(&cid);
         by_distance.sort_by_key(|n| xor_distance(n, &cid));
         // Closest replica is far slower than the hedge threshold.
@@ -738,7 +1491,7 @@ mod tests {
     fn clock_advances_with_latency_and_backoff() {
         let plan = FaultPlan::seeded(21).with_global_drop(0.9);
         let net = StorageNetwork::with_fault_plan(4, plan);
-        let cid = net.publish(PinOwner(1), &b"tick tock"[..]);
+        let cid = net.publish(PinOwner(1), &b"tick tock"[..]).unwrap();
         let before = net.now();
         let _ = net.retrieve_resilient(&cid, &RetrievalPolicy::default());
         assert!(net.now() > before, "requests and backoff must consume time");

@@ -25,6 +25,14 @@ pub struct RetrievalPolicy {
     /// never ambient entropy, so crash-restart replays of the same
     /// schedule wait identical ticks.
     pub jitter_ticks: u64,
+    /// On a quorum-backed network, proceed with reconstruction when
+    /// exactly `k` usable shares remain (zero redundancy margin). The read
+    /// succeeds but is flagged `degraded` in
+    /// [`crate::RetrievalStats`] and the blob is queued for repair.
+    /// When `false`, a read at the bare minimum fails as transiently
+    /// unavailable instead, for callers that would rather wait for repair
+    /// than serve from the cliff edge.
+    pub allow_degraded: bool,
 }
 
 impl Default for RetrievalPolicy {
@@ -35,6 +43,7 @@ impl Default for RetrievalPolicy {
             max_backoff_ticks: 64,
             hedge_latency_ticks: 8,
             jitter_ticks: 0,
+            allow_degraded: true,
         }
     }
 }
@@ -48,6 +57,7 @@ impl RetrievalPolicy {
             max_backoff_ticks: 0,
             hedge_latency_ticks: u64::MAX,
             jitter_ticks: 0,
+            allow_degraded: true,
         }
     }
 
@@ -89,8 +99,7 @@ mod tests {
             max_attempts: 8,
             base_backoff_ticks: 2,
             max_backoff_ticks: 16,
-            hedge_latency_ticks: 8,
-            jitter_ticks: 0,
+            ..RetrievalPolicy::default()
         };
         assert_eq!(p.backoff_for(0), 2);
         assert_eq!(p.backoff_for(1), 4);

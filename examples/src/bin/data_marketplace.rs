@@ -136,6 +136,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  {} hedged replica probes, {} replicas quarantined, {} ticks in backoff",
         rb.hedges, rb.quarantined, rb.backoff_ticks
     );
+    println!(
+        "  {} degraded quorum reads, {} erasure shares re-placed by repair",
+        rb.degraded_reads, rb.repaired_shares
+    );
 
     banner("telemetry: metrics summary for this run");
     let snap = zkdet_telemetry::snapshot();

@@ -10,7 +10,11 @@
 //! 3. the terminal [`ExchangeReport`] is internally consistent — settled
 //!    runs carry the plaintext, refunded/aborted runs carry a reason;
 //! 4. the provenance audit of the exchanged token still passes, so the
-//!    lineage index and audit caches survived the disruption coherently.
+//!    lineage index and audit caches survived the disruption coherently;
+//! 5. no **acknowledged publish is ever lost** while at most `n − k`
+//!    storage nodes are faulty — every blob whose write quorum acked is
+//!    still reconstructible, unless the adversary demonstrably exceeded
+//!    the erasure fault budget (which the durability report exposes).
 
 use rand::Rng;
 use zkdet_chain::{Address, TokenId, Wei};
@@ -100,6 +104,36 @@ pub fn assert_audit_coherent<R: Rng + ?Sized>(m: &mut Marketplace, token: TokenI
     );
 }
 
+/// Invariant 5: no acknowledged publish is ever lost while at most
+/// `n − k` storage nodes are faulty.
+///
+/// Every content the storage layer acknowledged as durably written must
+/// still be reconstructible at the end of the run. The one escape hatch
+/// is an adversary that *provably* exceeded the erasure fault budget —
+/// [`zkdet_storage::DurabilityReport::recoverable`] returning `false`
+/// (e.g. a test hook corrupting every replica at once) — which is outside
+/// the contract the quorum makes.
+pub fn assert_acked_publishes_durable(m: &Marketplace) {
+    let policy = zkdet_storage::RetrievalPolicy {
+        max_attempts: 8,
+        ..zkdet_storage::RetrievalPolicy::default()
+    };
+    for cid in m.storage.acknowledged_publishes() {
+        let Some(report) = m.storage.durability_report(&cid) else {
+            continue; // unpinned since the ack — garbage collection is fine
+        };
+        if !report.recoverable() {
+            continue; // adversary exceeded the n − k budget; out of contract
+        }
+        assert!(
+            m.storage.retrieve_resilient(&cid, &policy).is_ok(),
+            "acked publish {cid} with {}/{} intact shares must reconstruct",
+            report.intact_shares,
+            report.required_shares,
+        );
+    }
+}
+
 /// All terminal-state invariants at once — the standard epilogue of a
 /// chaos, Byzantine, or crash-recovery run.
 pub fn assert_exchange_invariants<R: Rng + ?Sized>(
@@ -114,4 +148,5 @@ pub fn assert_exchange_invariants<R: Rng + ?Sized>(
     assert_no_wedged_escrow(m);
     assert_paid_exactly_once(m, seller, buyer, &report.outcome);
     assert_audit_coherent(m, token, rng);
+    assert_acked_publishes_durable(m);
 }

@@ -541,3 +541,55 @@ fn byzantine_malformed_calldata_rejected_deterministic_gas() {
     assert_no_wedged_escrow(&ex.m);
     assert_paid_exactly_once(&ex.m, ex.seller.address, buyer.address, &report.outcome);
 }
+
+/// Scenario 6 — Byzantine **storage nodes** forge erasure shares.
+///
+/// Two of the eight share holders rewrite every share they serve. The
+/// manifest digests must attribute each forged share to the exact node
+/// and slot, the read must be carried by the six honest shares, and the
+/// exchange must settle with the true plaintext and a single payment.
+#[test]
+fn byzantine_storage_nodes_cannot_forge_or_starve_the_exchange() {
+    let mut r = rng(7006);
+    let ex = locked_exchange(7006, &[21, 42, 63]);
+    let mut m = ex.m;
+    let cid = m
+        .chain
+        .nft(&m.nft_addr)
+        .unwrap()
+        .token_meta(ex.session.token)
+        .unwrap()
+        .cid;
+    let mut holders = m.storage.replica_nodes(&cid);
+    holders.sort_by_key(|n| zkdet_storage::xor_distance(n, &cid));
+    assert_eq!(holders.len(), 8, "quorum publish spreads one share per node");
+    m.storage.set_fault_plan(
+        zkdet_storage::FaultPlan::seeded(7006)
+            .with_byzantine_node(holders[0])
+            .with_byzantine_node(holders[1]),
+    );
+    m.seller_settle(&ex.seller, &ex.listing, ex.session.k_v_message(), &mut r)
+        .unwrap();
+    let mut buyer = ex.buyer;
+    let report = m
+        .drive_exchange_to_completion(&mut buyer, &ex.session)
+        .unwrap();
+    assert_eq!(report.outcome, ExchangeOutcome::Settled);
+    assert_eq!(report.data.as_ref().unwrap(), &data(&[21, 42, 63]));
+    // Attribution: every piece of evidence names one of the two forgers
+    // and a valid share slot of the exchanged content.
+    let evidence = m.storage.tamper_evidence();
+    assert!(!evidence.is_empty(), "forged shares must leave evidence");
+    for e in &evidence {
+        assert!(e.node == holders[0] || e.node == holders[1]);
+        assert!(e.share_index < 8);
+    }
+    for villain in &holders[..2] {
+        assert!(m.storage.quarantined_nodes().contains(villain));
+    }
+    // Single payment, clean terminal state, durable acked publishes.
+    assert_terminal_consistent(&report);
+    assert_no_wedged_escrow(&m);
+    assert_paid_exactly_once(&m, ex.seller.address, buyer.address, &report.outcome);
+    zkdet_tests::invariants::assert_acked_publishes_durable(&m);
+}

@@ -17,10 +17,13 @@ use rand::rngs::StdRng;
 use zkdet_chain::ChainError;
 use zkdet_circuits::exchange::RangePredicate;
 use zkdet_core::exchange::SellerListing;
-use zkdet_core::{BuyerSession, Dataset, DataOwner, ExchangeOutcome, Marketplace};
+use zkdet_core::{BuyerSession, Dataset, DataOwner, ExchangeOutcome, Marketplace, ZkdetError};
 use zkdet_field::Fr;
-use zkdet_storage::{xor_distance, Cid, FaultPlan, NodeId};
-use zkdet_tests::invariants::{assert_no_wedged_escrow, assert_terminal_consistent, INITIAL_BALANCE};
+use zkdet_storage::{xor_distance, Cid, FaultPlan, NodeId, StorageError};
+use zkdet_tests::invariants::{
+    assert_acked_publishes_durable, assert_no_wedged_escrow, assert_terminal_consistent,
+    INITIAL_BALANCE,
+};
 use zkdet_tests::rng;
 
 /// A marketplace with one published token, listed and locked by the buyer —
@@ -330,6 +333,141 @@ fn reorg_and_duplicate_settle_pay_exactly_once() {
         INITIAL_BALANCE - x.session.price
     );
     assert_no_wedged_escrow(&x.m);
+}
+
+#[test]
+fn redundancy_recovers_after_storage_churn() {
+    // Two share holders churn away mid-exchange. The drive loop's repair
+    // ticks must re-encode and re-place the lost shares, so the run ends
+    // not just settled but with *full* redundancy restored — churn may
+    // not leave the blob permanently one fault from loss.
+    let mut x = setup_locked_exchange(111);
+    let cid = ciphertext_cid(&x);
+    let holders = replicas_closest_first(&x, &cid);
+    x.m.storage.kill_node(holders[0]);
+    x.m.storage.kill_node(holders[1]);
+    assert!(
+        x.m.storage.pending_repairs() > 0,
+        "churn must enqueue repair work"
+    );
+    x.m.seller_settle(&x.seller, &x.listing, x.session.k_v_message(), &mut x.r)
+        .expect("settle");
+    let report =
+        x.m.drive_exchange_to_completion(&mut x.buyer, &x.session)
+            .expect("drive");
+    assert_eq!(report.outcome, ExchangeOutcome::Settled);
+    assert_eq!(report.data.as_ref(), Some(&x.data));
+    assert!(
+        x.m.robustness().repaired_shares >= 2,
+        "the drive loop's repair ticks must have re-placed the lost shares"
+    );
+    let durability =
+        x.m.storage
+            .durability_report(&cid)
+            .expect("exchanged ciphertext still tracked");
+    assert!(
+        durability.fully_redundant(),
+        "repair must restore every share slot, got {}/{} intact",
+        durability.intact_shares,
+        durability.total_shares
+    );
+    assert_eq!(x.m.storage.pending_repairs(), 0);
+    assert_acked_publishes_durable(&x.m);
+    assert_no_wedged_escrow(&x.m);
+}
+
+#[test]
+fn byzantine_quorum_exchange_settles_within_fault_budget() {
+    // The headline acceptance scenario: of the 8 share holders, 2 serve
+    // forged shares (Byzantine) and 2 are crashed — exactly the n − k = 4
+    // fault budget. The exchange must settle with the exact plaintext,
+    // the forgers must be caught with share-level attribution, and the
+    // whole run must replay byte-identically under the fixed seed.
+    let run = || {
+        let mut x = setup_locked_exchange(112);
+        let cid = ciphertext_cid(&x);
+        let holders = replicas_closest_first(&x, &cid);
+        assert!(holders.len() >= 8, "quorum publish spreads 8 shares");
+        let plan = FaultPlan::seeded(112)
+            .with_byzantine_node(holders[0])
+            .with_byzantine_node(holders[1])
+            .with_crash_at(holders[2], 0)
+            .with_crash_at(holders[3], 0);
+        x.m.storage.set_fault_plan(plan);
+        x.m.seller_settle(&x.seller, &x.listing, x.session.k_v_message(), &mut x.r)
+            .expect("settle");
+        let report =
+            x.m.drive_exchange_to_completion(&mut x.buyer, &x.session)
+                .expect("drive");
+        assert_eq!(report.outcome, ExchangeOutcome::Settled);
+        assert_eq!(report.data.as_ref(), Some(&x.data));
+        // Both forgers were caught, and the evidence names the slot.
+        let evidence = x.m.storage.tamper_evidence();
+        assert!(!evidence.is_empty(), "forged shares must leave evidence");
+        assert!(evidence
+            .iter()
+            .all(|e| e.node == holders[0] || e.node == holders[1]));
+        for villain in &holders[..2] {
+            assert!(x.m.storage.quarantined_nodes().contains(villain));
+        }
+        // Every acked publish is still reconstructible, and a repair pass
+        // restores what the faults degraded.
+        assert_acked_publishes_durable(&x.m);
+        let _ = x.m.storage.run_pending_repairs();
+        assert_no_wedged_escrow(&x.m);
+        (
+            report.outcome,
+            report.data,
+            x.m.robustness(),
+            evidence,
+            x.m.storage.durability_report(&cid),
+        )
+    };
+    assert_eq!(run(), run(), "fixed seed must replay byte-identically");
+}
+
+#[test]
+fn withheld_acks_reject_publish_cleanly() {
+    // A publish whose write quorum is starved by ack-withholding nodes
+    // must fail loudly — a clean, abortable error before anything touches
+    // the chain — never an unacknowledged write that quietly exists.
+    let mut r = rng(113);
+    let mut m = Marketplace::bootstrap(1 << 14, 10, &mut r).expect("bootstrap");
+    let mut seller = m.register();
+    let ids = m.storage.node_ids();
+    let mut plan = FaultPlan::seeded(113);
+    // 5 withholders of 10 nodes: at most 5 of the 8 share holders can
+    // ack, below the write quorum of 6.
+    for id in &ids[..5] {
+        plan = plan.with_ack_withholding(*id);
+    }
+    m.storage.set_fault_plan(plan);
+    let data = Dataset::from_entries(vec![Fr::from(7u64), Fr::from(8u64)]);
+    let err = m
+        .publish_original(&mut seller, data.clone(), &mut r)
+        .expect_err("starved write quorum must reject the publish");
+    assert!(
+        matches!(
+            err,
+            ZkdetError::Storage(StorageError::InsufficientAcks { .. })
+        ),
+        "got {err:?}"
+    );
+    assert_eq!(err.recovery(), zkdet_core::Recovery::AbortAndRefund);
+    // Nothing was acknowledged, nothing reached the chain.
+    assert!(m.storage.acknowledged_publishes().is_empty());
+    // Once the network heals, the same publish goes through.
+    m.storage.set_fault_plan(FaultPlan::none());
+    let token = m
+        .publish_original(&mut seller, data, &mut r)
+        .expect("publish after the network heals");
+    assert_eq!(
+        m.storage.acknowledged_publishes().len(),
+        2,
+        "ciphertext and proof bundle both acked"
+    );
+    assert!(m.chain.nft(&m.nft_addr).expect("nft").owner_of(token).is_ok());
+    assert_acked_publishes_durable(&m);
 }
 
 #[test]

@@ -13,10 +13,12 @@
 //! no wedged escrow, exactly-once payment, coherent audit caches.
 //!
 //! Schedules are seed-derived and cycle through storage-fault flavours
-//! (inert, request drops, slow replica, stale record, corrupt replica)
-//! plus a seller-withholding flavour that must end in a refund. The
-//! schedule count is `ZKDET_CRASH_SCHEDULES` (default 2 for local runs;
-//! CI runs ≥ 100).
+//! (inert, request drops, slow replica, stale record, corrupt replica,
+//! node churn) plus a seller-withholding flavour that must end in a
+//! refund. The churn flavour removes the closest share holder outright,
+//! so every crash point also exercises the repair scheduler's re-spread
+//! of the lost erasure shares. The schedule count is
+//! `ZKDET_CRASH_SCHEDULES` (default 2 for local runs; CI runs ≥ 100).
 
 use rand::rngs::StdRng;
 use zkdet_circuits::exchange::RangePredicate;
@@ -52,7 +54,7 @@ impl Schedule {
     fn new(seed: u64) -> Self {
         Schedule {
             seed,
-            kind: seed % 6,
+            kind: seed % 7,
         }
     }
 
@@ -93,6 +95,20 @@ fn fresh_life(m: &mut Marketplace, sched: Schedule, r: &mut StdRng) -> Life {
         2 => FaultPlan::seeded(sched.seed).with_latency(replicas[0], 20),
         3 => FaultPlan::seeded(sched.seed).with_stale_record(replicas[0], cid),
         4 => FaultPlan::seeded(sched.seed).with_corrupt_replica(replicas[0], cid),
+        6 => {
+            // Churn: the closest share holder leaves the network for good
+            // and the repair scheduler must re-spread its erasure shares
+            // while the exchange keeps crashing and recovering. A cluster
+            // floor keeps many schedules from whittling the network below
+            // its write quorum; past the floor, the holder merely crashes
+            // for this life instead of leaving.
+            if m.storage.node_ids().len() > 8 {
+                m.storage.kill_node(replicas[0]);
+                FaultPlan::seeded(sched.seed)
+            } else {
+                FaultPlan::seeded(sched.seed).with_crash_at(replicas[0], 0)
+            }
+        }
         _ => FaultPlan::seeded(sched.seed), // inert (kinds 0 and 5)
     };
     m.storage.set_fault_plan(plan);

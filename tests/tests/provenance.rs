@@ -74,10 +74,11 @@ fn batched_audit_localises_the_failing_token_even_when_warm() {
         pi_t: bundle_a.pi_t.clone(),
     };
     let meta_b = m.chain.nft(&m.nft_addr).unwrap().token_meta(t_b).unwrap().clone();
-    let forged_cid = m.storage.publish(alice.pin, forged.to_bytes());
+    let forged_cid = m.storage.publish(alice.pin, forged.to_bytes()).expect("publish");
     let ct_cid = m
         .storage
-        .publish(alice.pin, zkdet_core::codec::encode_ciphertext(&ct_b));
+        .publish(alice.pin, zkdet_core::codec::encode_ciphertext(&ct_b))
+        .expect("publish");
     let (forged_token, _) = m
         .chain
         .nft_mint(

@@ -42,11 +42,15 @@ fn integrity_false_transformation_claim_rejected() {
     let meta_b = m.chain.nft(&m.nft_addr).unwrap().token_meta(t_b).unwrap().clone();
     let forged_cid = m
         .storage
-        .publish(alice.pin, forged_bundle.to_bytes());
-    let ct_cid = m.storage.publish(alice.pin, {
-        // republish B's ciphertext for the forged token
-        zkdet_core::codec::encode_ciphertext(&ct_b)
-    });
+        .publish(alice.pin, forged_bundle.to_bytes())
+        .expect("publish");
+    let ct_cid = m
+        .storage
+        .publish(alice.pin, {
+            // republish B's ciphertext for the forged token
+            zkdet_core::codec::encode_ciphertext(&ct_b)
+        })
+        .expect("publish");
     let (forged_token, _) = m
         .chain
         .nft_mint(
@@ -78,9 +82,10 @@ fn integrity_wrong_ciphertext_for_commitment_rejected() {
     ct.blocks[0] += Fr::ONE;
     let bad_ct_cid = m
         .storage
-        .publish(alice.pin, zkdet_core::codec::encode_ciphertext(&ct));
+        .publish(alice.pin, zkdet_core::codec::encode_ciphertext(&ct))
+        .expect("publish");
     let meta = m.chain.nft(&m.nft_addr).unwrap().token_meta(token).unwrap().clone();
-    let bundle_cid = m.storage.publish(alice.pin, bundle.to_bytes());
+    let bundle_cid = m.storage.publish(alice.pin, bundle.to_bytes()).expect("publish");
     let (forged, _) = m
         .chain
         .nft_mint(
@@ -242,8 +247,9 @@ fn audit_detects_kind_bundle_mismatch() {
     // Mint a token claiming Aggregation with the duplication bundle.
     let cid = m
         .storage
-        .publish(alice.pin, zkdet_core::codec::encode_ciphertext(&ct));
-    let bundle_cid = m.storage.publish(alice.pin, bundle.to_bytes());
+        .publish(alice.pin, zkdet_core::codec::encode_ciphertext(&ct))
+        .expect("publish");
+    let bundle_cid = m.storage.publish(alice.pin, bundle.to_bytes()).expect("publish");
     let meta = m.chain.nft(&m.nft_addr).unwrap().token_meta(dup).unwrap().clone();
     let (forged, _) = m
         .chain
