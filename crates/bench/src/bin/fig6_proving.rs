@@ -123,6 +123,20 @@ fn main() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write bench artefact: {e}"),
     }
+    if telemetry_on {
+        // Attribution profile of the whole sweep: where the proving time
+        // actually went (self time per span), plus collapsed stacks for
+        // stock flame-graph tooling.
+        match zkdet_bench::write_profile("fig6_proving", 12) {
+            Ok(table) => {
+                println!();
+                println!("hot paths (self time, top 12):");
+                print!("{table}");
+                println!("wrote PROFILE_fig6_proving.txt / .folded");
+            }
+            Err(e) => eprintln!("could not write profiler artefacts: {e}"),
+        }
+    }
     println!();
     println!("paper reference: ~3 min for a 5 MB dataset's π_e; ~10 s for its π_t;");
     println!("π_k flat at ~120 ms regardless of size — the same shape as above.");

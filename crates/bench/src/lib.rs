@@ -20,9 +20,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod report;
 
-pub use report::{check, init_telemetry, BenchReport, SCHEMA};
+pub use diff::{diff_reports, DiffOutcome, RowDelta, Severity, FAIL_PCT, WARN_PCT};
+pub use report::{check, init_telemetry, write_profile, BenchReport, SCHEMA};
 
 use std::time::{Duration, Instant};
 
@@ -34,9 +36,14 @@ use zkdet_crypto::mimc::{Ciphertext, MimcCtr};
 use zkdet_field::{Field, Fr};
 use zkdet_plonk::CompiledCircuit;
 
+/// Seed of the deterministic benchmark RNG. Stamped into every bench
+/// artefact's `meta.bench_seed` so `bench_diff` can refuse to compare
+/// runs measured over different workloads.
+pub const BENCH_SEED: u64 = 0xbe_9c;
+
 /// Deterministic benchmark RNG.
 pub fn bench_rng() -> StdRng {
-    StdRng::seed_from_u64(0xbe_9c)
+    StdRng::seed_from_u64(BENCH_SEED)
 }
 
 /// Times one invocation.

@@ -45,11 +45,21 @@ impl BenchReport {
     }
 
     /// Assembles the artefact, snapshotting global telemetry now.
+    ///
+    /// Stamps `meta.bench_seed` (the deterministic workload seed) and
+    /// `meta.row_count` so downstream comparison (`bench_diff`) can
+    /// refuse apples-to-oranges diffs. A bin that sweeps a different
+    /// seed may set `bench_seed` explicitly before writing.
     pub fn to_value(&self) -> Value {
+        let mut meta = self.meta.clone();
+        if meta.get("bench_seed").is_none() {
+            meta.set("bench_seed", crate::BENCH_SEED);
+        }
+        meta.set("row_count", self.rows.len() as u64);
         Value::object()
             .with("schema", SCHEMA)
             .with("name", self.name.as_str())
-            .with("meta", self.meta.clone())
+            .with("meta", meta)
             .with("rows", self.rows.clone())
             .with("telemetry", zkdet_telemetry::snapshot().to_json())
     }
@@ -68,6 +78,31 @@ impl BenchReport {
         std::fs::write(&path, self.to_value().encode_pretty())?;
         Ok(path)
     }
+}
+
+/// Writes the attribution-profiler artefacts for the current global
+/// telemetry snapshot under `$ZKDET_BENCH_DIR`:
+///
+/// * `PROFILE_<name>.txt` — the self/total attribution table (all rows);
+/// * `PROFILE_<name>.folded` — collapsed stacks in the format
+///   `flamegraph.pl` / inferno consume.
+///
+/// Returns the rendered top-`top_n` table for the caller to print.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating the directory or files.
+pub fn write_profile(name: &str, top_n: usize) -> std::io::Result<String> {
+    let snap = zkdet_telemetry::snapshot();
+    let rows = zkdet_telemetry::attribute(&snap.spans);
+    let table = zkdet_telemetry::render_attribution(&rows, rows.len(), false);
+    let folded = zkdet_telemetry::collapsed_stacks(&snap.spans);
+    let dir = std::env::var("ZKDET_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir)?;
+    std::fs::write(dir.join(format!("PROFILE_{name}.txt")), table)?;
+    std::fs::write(dir.join(format!("PROFILE_{name}.folded")), folded)?;
+    Ok(zkdet_telemetry::render_attribution(&rows, top_n, false))
 }
 
 /// Enables global telemetry unless `ZKDET_TELEMETRY` is `0`/`off` (the
@@ -108,14 +143,20 @@ pub fn check(artefact: &Value) -> Result<(), String> {
         Some(n) if !n.is_empty() => {}
         _ => return Err("missing or empty \"name\"".to_string()),
     }
-    expect_object(
-        artefact.get("meta").ok_or("missing \"meta\"")?,
-        "\"meta\"",
-    )?;
+    let meta = artefact.get("meta").ok_or("missing \"meta\"")?;
+    expect_object(meta, "\"meta\"")?;
+    expect_u64(meta.get("bench_seed"), "\"meta.bench_seed\"")?;
+    let row_count = expect_u64(meta.get("row_count"), "\"meta.row_count\"")?;
     let rows = artefact
         .get("rows")
         .and_then(Value::as_array)
         .ok_or("missing \"rows\" array")?;
+    if rows.len() as u64 != row_count {
+        return Err(format!(
+            "\"meta.row_count\" says {row_count} but \"rows\" has {} entries",
+            rows.len()
+        ));
+    }
     for (i, row) in rows.iter().enumerate() {
         expect_object(row, &format!("rows[{i}]"))?;
     }

@@ -137,6 +137,7 @@ impl Marketplace {
         predicate_description: String,
         rng: &mut R,
     ) -> Result<SellerListing, ZkdetError> {
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(token.0));
         let _span = zkdet_telemetry::span("exchange.list");
         let secret = owner
             .secret(token)
@@ -205,13 +206,14 @@ impl Marketplace {
         package: &ValidationPackage,
         rng: &mut R,
     ) -> Result<BuyerSession, ZkdetError> {
-        let _span = zkdet_telemetry::span("exchange.validate_and_lock");
         let listing = self
             .chain
             .auction(&self.auction_addr)?
             .listing(listing_id)?
             .clone();
         let token = listing.token;
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(token.0));
+        let _span = zkdet_telemetry::span("exchange.validate_and_lock");
         let on_chain_commitment = self.chain.nft(&self.nft_addr)?.token_meta(token)?.commitment;
 
         // π_p must verify AND bind to the on-chain commitment.
@@ -248,6 +250,9 @@ impl Marketplace {
         buyer_k_v: Fr,
         rng: &mut R,
     ) -> Result<(), ZkdetError> {
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(
+            seller_listing.token.0,
+        ));
         let _span = zkdet_telemetry::span("exchange.settle");
         match self.seller_prove_settlement(owner, seller_listing, buyer_k_v, rng)? {
             // Already settled: idempotent success.
@@ -268,6 +273,9 @@ impl Marketplace {
         buyer_k_v: Fr,
         rng: &mut R,
     ) -> Result<Option<SettlementSubmission>, ZkdetError> {
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(
+            seller_listing.token.0,
+        ));
         let _span = zkdet_telemetry::span("exchange.prove_settlement");
         let secret = owner
             .secret(seller_listing.token)
@@ -368,6 +376,9 @@ impl Marketplace {
         buyer: &mut DataOwner,
         session: &BuyerSession,
     ) -> Result<Dataset, ZkdetError> {
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(
+            session.token.0,
+        ));
         let _span = zkdet_telemetry::span("exchange.recover");
         let (k, ciphertext) = self.buyer_fetch(session)?;
         self.buyer_decrypt(buyer, session, k, &ciphertext)
@@ -434,6 +445,9 @@ impl Marketplace {
 
     /// Buyer refund path after a seller timeout (`REFUND_TIMEOUT_BLOCKS`).
     pub fn buyer_refund(&mut self, session: &BuyerSession) -> Result<ExchangeOutcome, ZkdetError> {
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(
+            session.token.0,
+        ));
         let _span = zkdet_telemetry::span("exchange.refund");
         self.chain
             .auction_refund(self.auction_addr, session.buyer, session.listing)?;
@@ -469,6 +483,12 @@ impl Marketplace {
     ) -> Result<ExchangeReport, ZkdetError> {
         use crate::error::Recovery;
 
+        // The exchange's causal trace: deterministically minted from the
+        // token, so telemetry from every layer this loop touches (prover,
+        // storage quorum, repair ticks, chain settlement) carries one id.
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(
+            session.token.0,
+        ));
         let mut drive_span = zkdet_telemetry::span("exchange.drive");
         let mut recover_attempts = 0u32;
         let mut blocks_waited = 0u64;

@@ -212,6 +212,41 @@ const TAG_SWAP_REVEAL_DONE: u8 = 18;
 const TAG_SWAP_FINISH_INTENT: u8 = 19;
 const TAG_SWAP_FINISH_DONE: u8 = 20;
 
+/// Frame prefix marking a record carried inside a trace context: one tag
+/// byte, eight little-endian trace-id bytes, then the canonical record
+/// encoding. Untraced appends keep the bare record encoding, so every
+/// journal written before tracing existed still replays unchanged.
+const TAG_TRACED: u8 = 255;
+
+/// Encodes one journal frame: the bare record, or the [`TAG_TRACED`]
+/// wrapper when a trace id is attached.
+fn encode_frame(trace: Option<u64>, record: &ExchangeRecord) -> Vec<u8> {
+    let inner = record.to_bytes();
+    match trace {
+        Some(t) => {
+            let mut out = Vec::with_capacity(9 + inner.len());
+            out.push(TAG_TRACED);
+            out.extend_from_slice(&t.to_le_bytes());
+            out.extend_from_slice(&inner);
+            out
+        }
+        None => inner,
+    }
+}
+
+/// Decodes one journal frame into its optional trace id and record.
+fn decode_frame(bytes: &[u8]) -> Result<(Option<u64>, ExchangeRecord), ZkdetError> {
+    if bytes.first() == Some(&TAG_TRACED) {
+        let raw: [u8; 8] = bytes
+            .get(1..9)
+            .and_then(|b| b.try_into().ok())
+            .ok_or_else(|| ZkdetError::Codec("traced frame shorter than its header".into()))?;
+        let record = ExchangeRecord::from_bytes(&bytes[9..])?;
+        return Ok((Some(u64::from_le_bytes(raw)), record));
+    }
+    Ok((None, ExchangeRecord::from_bytes(bytes)?))
+}
+
 fn outcome_tag(o: &ExchangeOutcome) -> u8 {
     match o {
         ExchangeOutcome::Settled => 0,
@@ -554,19 +589,25 @@ impl ExchangeWal {
         // Decode eagerly so a corrupt payload is rejected at open time,
         // not halfway through a recovery.
         for rec in inner.replay()? {
-            ExchangeRecord::from_bytes(&rec.payload)?;
+            decode_frame(&rec.payload)?;
         }
         Ok(ExchangeWal { inner })
     }
 
     /// Appends one record, returning its sequence number.
     ///
+    /// The ambient trace context ([`zkdet_telemetry::current_trace`]), if
+    /// any, is stamped into the frame so a later
+    /// [`ExchangeWal::traced_records`] replay can re-link each step to the
+    /// exchange that wrote it.
+    ///
     /// # Errors
     ///
     /// [`ZkdetError::Journal`] — notably [`zkdet_wal::WalError::Crashed`]
     /// when a chaos-harness crash plan fires.
     pub fn append(&mut self, record: &ExchangeRecord) -> Result<u64, ZkdetError> {
-        let seq = self.inner.append(&record.to_bytes())?;
+        let trace = zkdet_telemetry::current_trace().map(|t| t.as_u64());
+        let seq = self.inner.append(&encode_frame(trace, record))?;
         zkdet_telemetry::counter_add("zkdet.recovery.wal.appends", 1);
         Ok(seq)
     }
@@ -577,10 +618,25 @@ impl ExchangeWal {
     ///
     /// Same conditions as [`ExchangeWal::open`].
     pub fn records(&self) -> Result<Vec<ExchangeRecord>, ZkdetError> {
+        Ok(self
+            .traced_records()?
+            .into_iter()
+            .map(|(_, rec)| rec)
+            .collect())
+    }
+
+    /// Replays every intact record together with the trace id it was
+    /// written under (`None` for records appended outside any trace
+    /// context, including every pre-tracing journal).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExchangeWal::open`].
+    pub fn traced_records(&self) -> Result<Vec<(Option<u64>, ExchangeRecord)>, ZkdetError> {
         self.inner
             .replay()?
             .iter()
-            .map(|r| ExchangeRecord::from_bytes(&r.payload))
+            .map(|r| decode_frame(&r.payload))
             .collect()
     }
 
@@ -742,6 +798,60 @@ mod tests {
         let reopened = ExchangeWal::open(wal.durable_bytes().to_vec()).unwrap();
         assert_eq!(reopened.records().unwrap(), sample_records());
         assert_eq!(reopened.record_count(), sample_records().len() as u64);
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_and_untraced_stay_bare() {
+        for rec in sample_records() {
+            // Bare encoding is byte-identical to the record codec — old
+            // journals replay unchanged.
+            assert_eq!(encode_frame(None, &rec), rec.to_bytes());
+            let (trace, back) = decode_frame(&encode_frame(None, &rec)).unwrap();
+            assert_eq!((trace, &back), (None, &rec));
+            // Traced wrapper round-trips and the id survives exactly.
+            let framed = encode_frame(Some(0xdead_beef_0badu64), &rec);
+            assert_eq!(framed[0], TAG_TRACED);
+            let (trace, back) = decode_frame(&framed).unwrap();
+            assert_eq!((trace, back), (Some(0xdead_beef_0badu64), rec));
+        }
+    }
+
+    #[test]
+    fn traced_frame_header_truncation_rejected() {
+        assert!(decode_frame(&[TAG_TRACED]).is_err());
+        assert!(decode_frame(&[TAG_TRACED, 1, 2, 3]).is_err());
+        // A full header but an empty inner record is still malformed.
+        assert!(decode_frame(&[TAG_TRACED, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn append_stamps_the_ambient_trace() {
+        let trace = zkdet_telemetry::TraceId::for_exchange(42);
+        let mut wal = ExchangeWal::new();
+        wal.append(&ExchangeRecord::ProveDone {
+            listing: ListingId(1),
+        })
+        .unwrap();
+        {
+            let _g = zkdet_telemetry::enter_trace(trace);
+            wal.append(&ExchangeRecord::SettleDone {
+                listing: ListingId(1),
+            })
+            .unwrap();
+        }
+        wal.append(&ExchangeRecord::Terminal {
+            listing: ListingId(1),
+            outcome: ExchangeOutcome::Settled,
+            reason: String::new(),
+        })
+        .unwrap();
+        let reopened = ExchangeWal::open(wal.durable_bytes().to_vec()).unwrap();
+        let traced = reopened.traced_records().unwrap();
+        assert_eq!(traced[0].0, None);
+        assert_eq!(traced[1].0, Some(trace.as_u64()));
+        assert_eq!(traced[2].0, None);
+        // records() strips the trace layer transparently.
+        assert_eq!(reopened.records().unwrap().len(), 3);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod fairswap;
 pub mod journal;
 pub mod market;
 pub mod recovery;
+pub mod trace_timeline;
 pub mod zkcp;
 
 pub use bundle::{ProofBundle, TransformProof};
@@ -48,5 +49,6 @@ pub use exchange::{
 };
 pub use journal::{ExchangeRecord, ExchangeWal};
 pub use recovery::{RecoveredExchange, RecoveredSwap, RecoveryOutcome, RecoveryReport};
+pub use trace_timeline::{exchange_trace, trace_timeline};
 pub use market::{DataOwner, Marketplace, ProvenanceReport, RobustnessMetrics};
 pub use zkdet_provenance::{AuditCache, NodeId, ProvenanceIndex, VerifyMode};

@@ -121,6 +121,7 @@ mod metric {
     pub const BACKOFF_TICKS: &str = "zkdet.storage.backoff.ticks";
     pub const DEGRADED: &str = "zkdet.storage.quorum.read.degraded";
     pub const REPAIRED_SHARES: &str = "zkdet.storage.repair.shares_restored";
+    pub const RETRIEVE_LATENCY_US: &str = "zkdet.storage.retrieve.latency_us";
 }
 
 /// Cache key for preprocessed circuit shapes.
@@ -687,9 +688,14 @@ impl Marketplace {
         &mut self,
         cid: &zkdet_storage::Cid,
     ) -> Result<bytes::Bytes, ZkdetError> {
+        let t0 = std::time::Instant::now();
         let (bytes, stats) = self
             .storage
             .retrieve_resilient(cid, &self.retrieval_policy)?;
+        self.metrics.observe(
+            metric::RETRIEVE_LATENCY_US,
+            t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        );
         self.metrics.counter_add(metric::RETRIEVALS, 1);
         self.metrics
             .counter_add(metric::ATTEMPTS, u64::from(stats.attempts));

@@ -157,6 +157,7 @@ impl Marketplace {
         predicate_description: String,
         rng: &mut R,
     ) -> Result<SellerListing, ZkdetError> {
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(token.0));
         let _span = zkdet_telemetry::span("exchange.list");
         let secret = owner
             .secret(token)
@@ -201,13 +202,14 @@ impl Marketplace {
         package: &ValidationPackage,
         rng: &mut R,
     ) -> Result<BuyerSession, ZkdetError> {
-        let _span = zkdet_telemetry::span("exchange.validate_and_lock");
         let listing = self
             .chain
             .auction(&self.auction_addr)?
             .listing(listing_id)?
             .clone();
         let token = listing.token;
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(token.0));
+        let _span = zkdet_telemetry::span("exchange.validate_and_lock");
         let on_chain_commitment = self.chain.nft(&self.nft_addr)?.token_meta(token)?.commitment;
         if package.publics.first() != Some(&on_chain_commitment) {
             return Err(ZkdetError::Inconsistent(
@@ -253,6 +255,9 @@ impl Marketplace {
         buyer_k_v: Fr,
         rng: &mut R,
     ) -> Result<(), ZkdetError> {
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(
+            seller_listing.token.0,
+        ));
         let _span = zkdet_telemetry::span("exchange.settle");
         wal.append(&ExchangeRecord::SettleIntent {
             listing: seller_listing.listing,
@@ -288,6 +293,9 @@ impl Marketplace {
         buyer: &mut DataOwner,
         session: &BuyerSession,
     ) -> Result<ExchangeReport, ZkdetError> {
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(
+            session.token.0,
+        ));
         let mut drive_span = zkdet_telemetry::span("exchange.drive");
         let listing_id = session.listing;
         let mut recover_attempts = 0u32;
@@ -295,6 +303,10 @@ impl Marketplace {
         loop {
             drive_span.record("recover_attempts", u64::from(recover_attempts));
             drive_span.record("blocks_waited", blocks_waited);
+            // Same repair discipline as the plain drive loop: redundancy
+            // lost to churn or corruption heals while the journaled
+            // exchange is in flight (and the repair spans join its trace).
+            self.tick_storage_repairs();
             if self.published_k_c(listing_id).is_some() {
                 recover_attempts += 1;
                 drive_span.record("recover_attempts", u64::from(recover_attempts));
@@ -570,6 +582,10 @@ impl Marketplace {
         buyer: &mut DataOwner,
         rng: &mut R,
     ) -> Result<RecoveredExchange, ZkdetError> {
+        // Re-enter the exchange's deterministic trace: every step the
+        // replay back-fills or re-executes re-links to the causal story
+        // the crashed process started.
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(token.0));
         let resumed_from = p.resumed_from();
         if let Some(outcome) = &p.terminal {
             return Ok(RecoveredExchange {

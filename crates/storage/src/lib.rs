@@ -38,6 +38,7 @@ mod cid;
 mod dht;
 mod erasure;
 mod fault;
+mod health;
 mod manifest;
 mod network;
 mod policy;
@@ -47,6 +48,7 @@ pub use cid::Cid;
 pub use dht::{xor_distance, DhtNode, NodeId, K_REPLICATION};
 pub use erasure::{ErasureCodec, ErasureError, MAX_SHARES};
 pub use fault::{FaultPlan, DEFAULT_LATENCY_TICKS};
+pub use health::{NodeHealthSnapshot, MAX_SUSPICION};
 pub use manifest::{share_key, ManifestError, ShareManifest};
 pub use network::{
     PinOwner, RetrievalStats, StorageError, StorageNetwork, REPAIR_INTERVAL_TICKS,

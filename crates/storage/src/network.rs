@@ -21,6 +21,7 @@ use parking_lot::RwLock;
 use crate::dht::{xor_distance, DhtNode, NodeId, ALPHA, K_REPLICATION};
 use crate::erasure::ErasureCodec;
 use crate::fault::FaultPlan;
+use crate::health::{self, NodeHealthSnapshot, NodeHealthStats};
 use crate::manifest::ShareManifest;
 use crate::policy::RetrievalPolicy;
 use crate::quorum::{DurabilityReport, QuorumConfig, RepairReport, TamperEvidence};
@@ -167,6 +168,16 @@ struct Inner {
     repair_queue: BTreeSet<Cid>,
     /// Earliest tick at which [`StorageNetwork::tick_repairs`] runs again.
     next_repair_due: u64,
+    /// Per-node health counters feeding the Byzantine-suspicion score.
+    /// Entries persist across [`StorageNetwork::kill_node`] — evidence
+    /// against a node outlives the node.
+    health: HashMap<NodeId, NodeHealthStats>,
+}
+
+impl Inner {
+    fn health_of(&mut self, node: NodeId) -> &mut NodeHealthStats {
+        self.health.entry(node).or_default()
+    }
 }
 
 /// A simulated content-addressed storage network (IPFS substitute).
@@ -229,6 +240,7 @@ impl StorageNetwork {
                 tamper_log: Vec::new(),
                 repair_queue: BTreeSet::new(),
                 next_repair_due: 0,
+                health: HashMap::new(),
             }),
         }
     }
@@ -252,7 +264,13 @@ impl StorageNetwork {
     /// replaced the corrupt replicas (chaos harnesses call this between
     /// schedules so one schedule's quarantine doesn't starve the next).
     pub fn clear_quarantine(&self) {
-        self.inner.write().quarantined.clear();
+        let mut inner = self.inner.write();
+        inner.quarantined.clear();
+        // Re-admission lifts the quarantine component of the suspicion
+        // score; accumulated tamper evidence still counts against the node.
+        for stats in inner.health.values_mut() {
+            stats.quarantined = false;
+        }
     }
 
     /// Nodes currently quarantined for serving corrupt bytes.
@@ -566,7 +584,9 @@ impl StorageNetwork {
 
     /// Point-in-time durability of a published blob: how many share slots
     /// (or replicas) are intact on live, unquarantined nodes versus how
-    /// many reconstruction needs. `None` if nothing is pinned under `cid`.
+    /// many reconstruction needs, plus the per-node health census
+    /// (suspicion-ranked) at report time. `None` if nothing is pinned
+    /// under `cid`.
     pub fn durability_report(&self, cid: &Cid) -> Option<DurabilityReport> {
         let inner = self.inner.read();
         if let Some(manifest) = inner.manifests.get(cid) {
@@ -578,6 +598,7 @@ impl StorageNetwork {
                 total_shares: total,
                 intact_shares: intact,
                 required_shares: manifest.data_shares(),
+                node_health: health_census(&inner),
             });
         }
         if inner.owners.contains_key(cid) {
@@ -585,9 +606,19 @@ impl StorageNetwork {
                 total_shares: K_REPLICATION.min(inner.nodes.len()).max(1) as u32,
                 intact_shares: intact_replicas(&inner, cid) as u32,
                 required_shares: 1,
+                node_health: health_census(&inner),
             });
         }
         None
+    }
+
+    /// The per-node health census: one [`NodeHealthSnapshot`] per node
+    /// that ever granted an ack, served a share, or misbehaved — most
+    /// suspicious first (ties broken by node id, so the ranking is
+    /// deterministic). Nodes killed by churn keep their entry: evidence
+    /// outlives the node.
+    pub fn node_health(&self) -> Vec<NodeHealthSnapshot> {
+        health_census(&self.inner.read())
     }
 
     /// Blobs currently queued for repair.
@@ -732,10 +763,15 @@ fn lookup_once(
         if corrupt {
             saw_corrupt = true;
             *quarantined += 1;
-            inner.quarantined.insert(*node_id);
+            let node_id = *node_id;
+            inner.quarantined.insert(node_id);
+            let stats = inner.health_of(node_id);
+            stats.tamper_shares += 1;
+            stats.quarantined = true;
             continue;
         }
         let response = (bytes.clone(), *node_id, hop);
+        inner.health_of(*node_id).shares_served += 1;
         if latency > policy.hedge_latency_ticks && slow_response.is_none() {
             // Replica answered but slower than the hedge threshold: keep
             // its answer and race the next-closest replica.
@@ -784,11 +820,17 @@ fn publish_replicated(
     let mut acked = 0u32;
     let mut placed: Vec<NodeId> = Vec::new();
     for id in &targets {
-        if let Some(node) = inner.nodes.get_mut(id) {
-            if node.blocks.insert(cid, data.clone()).is_none() {
-                placed.push(*id);
+        if inner.nodes.contains_key(id) {
+            let withheld = inner.faults.withholds_ack(id);
+            if let Some(node) = inner.nodes.get_mut(id) {
+                if node.blocks.insert(cid, data.clone()).is_none() {
+                    placed.push(*id);
+                }
             }
-            if !inner.faults.withholds_ack(id) {
+            if withheld {
+                inner.health_of(*id).withheld_acks += 1;
+            } else {
+                inner.health_of(*id).acks += 1;
                 acked += 1;
             }
         }
@@ -849,11 +891,17 @@ fn publish_quorum(
             break; // no live node at all
         };
         used.insert(target);
-        if let Some(node) = inner.nodes.get_mut(&target) {
-            if node.blocks.insert(key, Bytes::from(share.clone())).is_none() {
-                placed.push((target, key));
+        if inner.nodes.contains_key(&target) {
+            let withheld = inner.faults.withholds_ack(&target);
+            if let Some(node) = inner.nodes.get_mut(&target) {
+                if node.blocks.insert(key, Bytes::from(share.clone())).is_none() {
+                    placed.push((target, key));
+                }
             }
-            if !inner.faults.withholds_ack(&target) {
+            if withheld {
+                inner.health_of(target).withheld_acks += 1;
+            } else {
+                inner.health_of(target).acks += 1;
                 ackers.insert(target);
             }
         }
@@ -907,7 +955,7 @@ fn quorum_lookup_once(
         return Err(StorageError::NotFound(*cid));
     };
     let k = cfg.data_shares() as usize;
-    let mut fast: Vec<(usize, Bytes)> = Vec::new();
+    let mut fast: Vec<(usize, Bytes, NodeId)> = Vec::new();
     let mut slow: Vec<(usize, Bytes, NodeId)> = Vec::new();
     let mut served_by: Option<NodeId> = None;
     let mut contacted = 0usize;
@@ -964,18 +1012,22 @@ fn quorum_lookup_once(
                     content: *cid,
                     share_index: index,
                 });
+                let stats = inner.health_of(node_id);
+                stats.tamper_shares += 1;
+                stats.quarantined = true;
                 if zkdet_telemetry::is_enabled() {
                     zkdet_telemetry::counter_add("zkdet.storage.quorum.byzantine_shares", 1);
                 }
                 continue;
             }
+            inner.health_of(node_id).shares_served += 1;
             if latency > policy.hedge_latency_ticks {
                 // Answered, but slower than the hedge threshold: keep the
                 // share in reserve and count the extra probe as a hedge.
                 *hedges += 1;
                 slow.push((index as usize, bytes, node_id));
             } else {
-                fast.push((index as usize, bytes));
+                fast.push((index as usize, bytes, node_id));
                 if served_by.is_none() {
                     served_by = Some(node_id);
                 }
@@ -1010,14 +1062,23 @@ fn quorum_lookup_once(
     if degraded && !policy.allow_degraded {
         return Err(StorageError::Unavailable(*cid));
     }
-    let mut picked: Vec<(usize, Bytes)> = fast;
-    for (index, bytes, node_id) in slow {
+    let mut picked: Vec<(usize, Bytes)> = Vec::new();
+    let mut servers: Vec<NodeId> = Vec::new();
+    for (index, bytes, node_id) in fast.into_iter().chain(slow) {
         if picked.len() >= k {
             break;
         }
         picked.push((index, bytes));
+        servers.push(node_id);
         if served_by.is_none() {
             served_by = Some(node_id);
+        }
+    }
+    if degraded {
+        // The read was carried with zero redundancy margin — credit the
+        // nodes that held the line (capacity signal, not suspicion).
+        for node_id in &servers {
+            inner.health_of(*node_id).degraded_serves += 1;
         }
     }
     let data = cfg
@@ -1035,6 +1096,22 @@ fn quorum_lookup_once(
     }
     let server = served_by.unwrap_or(NodeId([0u8; 32]));
     Ok((Bytes::from(data), server, contacted, degraded))
+}
+
+/// Snapshot every node's health counters, most suspicious first (ties
+/// broken by node id so the ranking is deterministic).
+fn health_census(inner: &Inner) -> Vec<NodeHealthSnapshot> {
+    let mut census: Vec<NodeHealthSnapshot> = inner
+        .health
+        .iter()
+        .map(|(node, stats)| health::snapshot(*node, stats))
+        .collect();
+    census.sort_by(|a, b| {
+        b.suspicion
+            .cmp(&a.suspicion)
+            .then_with(|| a.node.cmp(&b.node))
+    });
+    census
 }
 
 /// Read-only survey: the first live, unquarantined node serving an
@@ -1196,7 +1273,10 @@ fn repair_quorum(inner: &mut Inner, cid: &Cid, manifest: &ShareManifest) -> Repa
             node.blocks.insert(key, Bytes::from(share.clone()));
             holding.insert(target);
             restored += 1;
+        } else {
+            continue;
         }
+        inner.health_of(target).repairs_received += 1;
     }
     if restored == 0 {
         // Damage seen but nowhere to put the repaired shares.
@@ -1250,7 +1330,10 @@ fn repair_replicated(inner: &mut Inner, cid: &Cid) -> RepairOutcome {
             node.blocks.insert(*cid, source.clone());
             count += 1;
             restored += 1;
+        } else {
+            continue;
         }
+        inner.health_of(target).repairs_received += 1;
     }
     if restored == 0 {
         return RepairOutcome::Healthy;

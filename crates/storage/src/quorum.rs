@@ -132,7 +132,7 @@ impl RepairReport {
 
 /// Point-in-time durability of one blob, from
 /// [`crate::StorageNetwork::durability_report`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DurabilityReport {
     /// Share slots the blob was published with (`n`; replication degree in
     /// the legacy full-copy mode).
@@ -142,6 +142,9 @@ pub struct DurabilityReport {
     pub intact_shares: u32,
     /// Slots needed to reconstruct (`k`; 1 in full-copy mode).
     pub required_shares: u32,
+    /// Full node census at report time, most suspicious first (ties
+    /// broken by node id).
+    pub node_health: Vec<crate::health::NodeHealthSnapshot>,
 }
 
 impl DurabilityReport {
@@ -209,18 +212,21 @@ mod tests {
             total_shares: 8,
             intact_shares: 8,
             required_shares: 4,
+            node_health: vec![],
         };
         assert!(healthy.recoverable() && healthy.fully_redundant());
         let degraded = DurabilityReport {
             total_shares: 8,
             intact_shares: 4,
             required_shares: 4,
+            node_health: vec![],
         };
         assert!(degraded.recoverable() && !degraded.fully_redundant());
         let lost = DurabilityReport {
             total_shares: 8,
             intact_shares: 3,
             required_shares: 4,
+            node_health: vec![],
         };
         assert!(!lost.recoverable());
     }

@@ -158,10 +158,12 @@ pub fn render_summary(
         let width = histograms.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
         for (name, h) in histograms {
             out.push_str(&format!(
-                "  {name:<width$}  count={} sum={} mean={}\n",
+                "  {name:<width$}  count={} sum={} mean={} p50={} p99={}\n",
                 h.count,
                 h.sum,
-                h.mean()
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99)
             ));
         }
     }

@@ -383,6 +383,12 @@ impl<'a> Parser<'a> {
             self.expect(b':', "expected ':'")?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
+            // Strict mode: a duplicate key is a malformed document, not a
+            // silent overwrite — exactly one of the duplicates would
+            // survive a round-trip, so the encoding wouldn't be canonical.
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(self.err("duplicate object key"));
+            }
             entries.push((key, value));
             self.skip_ws();
             match self.peek() {
@@ -577,6 +583,23 @@ mod tests {
         ] {
             assert!(Value::parse(bad).is_err(), "{bad:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn rejects_duplicate_object_keys() {
+        for bad in [
+            r#"{"a":1,"a":2}"#,
+            r#"{"a":1,"b":{"x":0,"x":1}}"#,
+            r#"[{"k":null,"k":null}]"#,
+        ] {
+            let err = Value::parse(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("duplicate object key"),
+                "{bad:?} gave {err}"
+            );
+        }
+        // Same key in *different* objects is fine.
+        assert!(Value::parse(r#"[{"a":1},{"a":2}]"#).is_ok());
     }
 
     #[test]

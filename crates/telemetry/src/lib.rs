@@ -25,12 +25,19 @@
 mod export;
 mod json;
 mod metrics;
+mod profile;
 mod recorder;
+mod trace;
 
 pub use export::{render_summary, render_tree, Snapshot};
 pub use json::{JsonError, Value};
 pub use metrics::{Histogram, HistogramSnapshot, Registry};
+pub use profile::{attribute, collapsed_stacks, render_attribution, Attribution};
 pub use recorder::{Recorder, SpanGuard, SpanRecord};
+pub use trace::{
+    current_trace, enter_trace, Timeline, TimelineEvent, TraceGuard, TraceId, TRACE_FIELD,
+    TRACE_SCHEMA,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -83,6 +83,31 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) as a bucket upper
+    /// bound: the inclusive bound of the bucket holding the
+    /// `ceil(q·count)`-th smallest observation. 0 when empty;
+    /// [`u64::MAX`] when the quantile falls in the overflow bucket.
+    ///
+    /// The resolution is the bucket width (a factor of 2 for the default
+    /// power-of-two bounds) — good enough for p50/p99 latency reporting,
+    /// which is what it exists for.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil without going through floats for the boundary cases.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
 }
 
 /// A registry of named counters and histograms.
@@ -217,6 +242,31 @@ mod tests {
         assert_eq!(snap.count, 4);
         assert_eq!(snap.sum, 222);
         assert_eq!(snap.mean(), 55);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = Histogram::new(vec![1, 2, 4, 8]);
+        for v in [1, 1, 2, 3, 5] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // ranks: q=0.5 over 5 obs -> 3rd smallest (2) -> bound 2.
+        assert_eq!(snap.quantile(0.5), 2);
+        // 5th smallest (5) lands in the (4,8] bucket.
+        assert_eq!(snap.quantile(0.99), 8);
+        assert_eq!(snap.quantile(1.0), 8);
+        // q=0 clamps to the first observation's bucket.
+        assert_eq!(snap.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = Histogram::new(vec![1]).snapshot();
+        assert_eq!(empty.quantile(0.5), 0);
+        let h = Histogram::new(vec![1]);
+        h.observe(100); // overflow bucket
+        assert_eq!(h.snapshot().quantile(0.5), u64::MAX);
     }
 
     #[test]

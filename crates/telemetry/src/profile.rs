@@ -1,0 +1,240 @@
+//! Attribution profiling over finished span trees.
+//!
+//! Folds a flat list of [`SpanRecord`]s (parent links intact) into the
+//! two classic profiler views:
+//!
+//! - **self/total attribution** per span name — *total* is the summed
+//!   duration of every span with that name, *self* is total minus the
+//!   time spent in direct children, i.e. the cost attributable to the
+//!   span's own code. Sorting by self time surfaces the real hot paths
+//!   (`plonk.prove.round3.quotient`, `curve.msm`, …) rather than the
+//!   outer wrappers that merely contain them.
+//! - **collapsed stacks** — one line per unique root-to-span call path
+//!   (`a;b;c <self>`), the interchange format `flamegraph.pl` and
+//!   inferno consume directly, so `BENCH_*` runs can be rendered as
+//!   flame graphs with stock tooling.
+//!
+//! Both views are deterministic: attribution rows sort by self time
+//! descending (name as tie-break), collapsed stacks sort by path.
+
+use std::collections::HashMap;
+
+use crate::recorder::SpanRecord;
+
+/// Aggregated cost of one span name across a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribution {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of spans with this name.
+    pub calls: u64,
+    /// Summed duration (includes time in children).
+    pub total: u64,
+    /// Summed duration minus direct children (own cost).
+    pub self_time: u64,
+}
+
+/// Per-span self time: duration minus the summed duration of direct
+/// children (saturating — clock skew between a parent and its children
+/// must not underflow).
+fn self_times(spans: &[SpanRecord]) -> HashMap<u64, u64> {
+    let mut child_cost: HashMap<u64, u64> = HashMap::new();
+    for s in spans {
+        if let Some(parent) = s.parent {
+            *child_cost.entry(parent).or_insert(0) += s.duration;
+        }
+    }
+    spans
+        .iter()
+        .map(|s| {
+            let children = child_cost.get(&s.id).copied().unwrap_or(0);
+            (s.id, s.duration.saturating_sub(children))
+        })
+        .collect()
+}
+
+/// Folds spans into per-name self/total attribution rows, hottest
+/// (largest self time) first.
+pub fn attribute(spans: &[SpanRecord]) -> Vec<Attribution> {
+    let selfs = self_times(spans);
+    let mut by_name: HashMap<&'static str, Attribution> = HashMap::new();
+    for s in spans {
+        let row = by_name.entry(s.name).or_insert(Attribution {
+            name: s.name,
+            calls: 0,
+            total: 0,
+            self_time: 0,
+        });
+        row.calls += 1;
+        row.total += s.duration;
+        row.self_time += selfs.get(&s.id).copied().unwrap_or(0);
+    }
+    let mut rows: Vec<Attribution> = by_name.into_values().collect();
+    rows.sort_by(|a, b| b.self_time.cmp(&a.self_time).then(a.name.cmp(b.name)));
+    rows
+}
+
+/// Renders the top-`top_n` attribution rows as an aligned text table.
+///
+/// `ticks` selects the time unit label (manual-clock ticks vs. wall
+/// nanoseconds), matching [`crate::render_tree`].
+pub fn render_attribution(rows: &[Attribution], top_n: usize, ticks: bool) -> String {
+    let unit = if ticks { "ticks" } else { "ns" };
+    let shown = &rows[..rows.len().min(top_n)];
+    let name_width = shown
+        .iter()
+        .map(|r| r.name.len())
+        .max()
+        .unwrap_or(4)
+        .max("name".len());
+    let mut out = format!(
+        "{:<name_width$} {:>8} {:>16} {:>16} {:>6}\n",
+        "name",
+        "calls",
+        format!("self ({unit})"),
+        format!("total ({unit})"),
+        "self%"
+    );
+    let grand_self: u64 = rows.iter().map(|r| r.self_time).sum();
+    for r in shown {
+        let pct = if grand_self == 0 {
+            0.0
+        } else {
+            r.self_time as f64 * 100.0 / grand_self as f64
+        };
+        out.push_str(&format!(
+            "{:<name_width$} {:>8} {:>16} {:>16} {:>5.1}%\n",
+            r.name, r.calls, r.self_time, r.total, pct
+        ));
+    }
+    if rows.len() > shown.len() {
+        out.push_str(&format!("… {} more rows\n", rows.len() - shown.len()));
+    }
+    out
+}
+
+/// Exports spans as collapsed stacks (`root;child;leaf <self-time>`),
+/// the format `flamegraph.pl` / inferno consume.
+///
+/// Identical call paths are merged (self times summed); lines are sorted
+/// by path, so the output is byte-stable for a given snapshot.
+pub fn collapsed_stacks(spans: &[SpanRecord]) -> String {
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let selfs = self_times(spans);
+    let mut stacks: HashMap<String, u64> = HashMap::new();
+    for s in spans {
+        // Walk parent links up to the root; parents missing from the
+        // snapshot (filtered exports) truncate the stack there.
+        let mut path = vec![s.name];
+        let mut cursor = s.parent;
+        while let Some(pid) = cursor {
+            match by_id.get(&pid) {
+                Some(p) => {
+                    path.push(p.name);
+                    cursor = p.parent;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        let line = path.join(";");
+        *stacks.entry(line).or_insert(0) += selfs.get(&s.id).copied().unwrap_or(0);
+    }
+    let mut lines: Vec<(String, u64)> = stacks.into_iter().collect();
+    lines.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for (path, weight) in lines {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&weight.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &'static str, duration: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            start: 0,
+            duration,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        // outer(100) -> mid(60) -> leaf(25): self(outer)=40, self(mid)=35.
+        let spans = vec![
+            span(1, None, "outer", 100),
+            span(2, Some(1), "mid", 60),
+            span(3, Some(2), "leaf", 25),
+        ];
+        let rows = attribute(&spans);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(get("outer").self_time, 40);
+        assert_eq!(get("outer").total, 100);
+        assert_eq!(get("mid").self_time, 35);
+        assert_eq!(get("leaf").self_time, 25);
+        // Hottest-first: outer(40) > mid(35) > leaf(25).
+        assert_eq!(rows[0].name, "outer");
+    }
+
+    #[test]
+    fn attribution_merges_repeated_names_and_orders_deterministically() {
+        let spans = vec![
+            span(1, None, "msm", 10),
+            span(2, None, "fft", 10),
+            span(3, None, "msm", 5),
+        ];
+        let rows = attribute(&spans);
+        assert_eq!(rows[0], Attribution { name: "msm", calls: 2, total: 15, self_time: 15 });
+        assert_eq!(rows[1].name, "fft");
+    }
+
+    #[test]
+    fn skewed_child_clock_saturates_instead_of_underflowing() {
+        let spans = vec![span(1, None, "outer", 10), span(2, Some(1), "inner", 25)];
+        let rows = attribute(&spans);
+        let outer = rows.iter().find(|r| r.name == "outer").unwrap();
+        assert_eq!(outer.self_time, 0);
+    }
+
+    #[test]
+    fn collapsed_stacks_merge_paths_and_sort() {
+        let spans = vec![
+            span(1, None, "prove", 100),
+            span(2, Some(1), "msm", 30),
+            span(3, Some(1), "msm", 20),
+            span(4, None, "verify", 7),
+        ];
+        let out = collapsed_stacks(&spans);
+        assert_eq!(out, "prove 50\nprove;msm 50\nverify 7\n");
+    }
+
+    #[test]
+    fn orphan_parents_truncate_the_stack() {
+        let spans = vec![span(9, Some(4), "leaf", 3)];
+        assert_eq!(collapsed_stacks(&spans), "leaf 3\n");
+    }
+
+    #[test]
+    fn table_renders_topn_and_footer() {
+        let spans = vec![
+            span(1, None, "a", 10),
+            span(2, None, "b", 5),
+            span(3, None, "c", 1),
+        ];
+        let rows = attribute(&spans);
+        let table = render_attribution(&rows, 2, true);
+        assert!(table.contains("self (ticks)"));
+        assert!(table.contains("… 1 more rows"));
+        assert!(!table.contains("\nc "));
+    }
+}

@@ -127,6 +127,12 @@ impl Recorder {
             stack.push((me, id));
             parent
         });
+        // Stamp the ambient trace (if one is active on this thread) so a
+        // trace's spans can be picked back out of a mixed snapshot.
+        let fields = match crate::trace::current_trace() {
+            Some(t) => vec![(crate::trace::TRACE_FIELD, t.as_u64())],
+            None => Vec::new(),
+        };
         SpanGuard {
             active: Some(ActiveSpan {
                 recorder: self,
@@ -136,7 +142,7 @@ impl Recorder {
                     name,
                     start: self.now(),
                     duration: 0,
-                    fields: Vec::new(),
+                    fields,
                 },
             }),
         }

@@ -1,0 +1,292 @@
+//! Causal trace propagation and timeline reconstruction.
+//!
+//! A [`TraceId`] names one logical operation end-to-end — in ZKDET, one
+//! exchange of one token — across every layer it touches: marketplace
+//! state transitions, prover invocations, quorum storage reads, repair
+//! ticks, chain settlement, and even the write-ahead journal. The id is
+//! **minted deterministically** from the entity it describes (see
+//! [`TraceId::mint`]), so a crash-restarted replay of the same exchange
+//! re-derives the *same* trace id and its resumed steps re-link to the
+//! original causal story.
+//!
+//! Propagation is ambient: [`enter_trace`] pushes a trace onto a
+//! thread-local stack and returns an RAII guard; while it is on the
+//! stack, every span opened on that thread (on any [`crate::Recorder`])
+//! is stamped with a `trace` field. Worker threads do **not** inherit the
+//! context automatically — capture [`current_trace`] before spawning and
+//! re-enter it inside the worker if the work belongs to the trace. This
+//! mirrors the recorder's per-thread span stacks: no cross-thread
+//! contention, no accidental cross-talk between concurrent traces.
+//!
+//! [`Timeline`] is the export side: an ordered list of events (journal
+//! records, spans, free-form notes) that one subsystem reconstructs for a
+//! single trace and renders as deterministic JSON (schema
+//! [`TRACE_SCHEMA`] = `zkdet-trace-v1`) or an ASCII timeline.
+
+use std::cell::RefCell;
+
+use crate::json::Value;
+
+/// Schema identifier for [`Timeline::to_json`] exports.
+pub const TRACE_SCHEMA: &str = "zkdet-trace-v1";
+
+/// Span field key under which the ambient trace id is stamped.
+pub const TRACE_FIELD: &str = "trace";
+
+/// Identifier of one causal trace (one exchange, end to end).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+/// Domain tag for exchange traces minted from a token id.
+pub const DOMAIN_EXCHANGE: u64 = 0x7a6b_6465_745f_6578; // "zkdet_ex"
+
+fn mix64(mut z: u64) -> u64 {
+    // splitmix64 finalizer — the same mixer the storage fault PRF uses.
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TraceId {
+    /// Deterministically mints the trace id for `entity` within `domain`.
+    ///
+    /// Same `(domain, entity)` ⇒ same id, in every process, forever —
+    /// this is what lets a recovery replay re-link to the original trace
+    /// without persisting a name table.
+    pub fn mint(domain: u64, entity: u64) -> TraceId {
+        TraceId(mix64(domain ^ mix64(entity)))
+    }
+
+    /// The trace id for the exchange of token `token_id`.
+    pub fn for_exchange(token_id: u64) -> TraceId {
+        TraceId::mint(DOMAIN_EXCHANGE, token_id)
+    }
+
+    /// Wraps a raw id (e.g. read back from a journal record).
+    pub fn from_u64(raw: u64) -> TraceId {
+        TraceId(raw)
+    }
+
+    /// The raw 64-bit id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+thread_local! {
+    // Stack of ambient trace ids on this thread. A stack (not a slot) so
+    // nested operations with their own traces restore the outer trace on
+    // guard drop.
+    static CURRENT: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`enter_trace`]; pops the trace on drop.
+pub struct TraceGuard {
+    _private: (),
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// Makes `trace` the ambient trace on this thread until the guard drops.
+///
+/// Every span opened on this thread while the guard lives is stamped with
+/// a `trace` field carrying the id.
+pub fn enter_trace(trace: TraceId) -> TraceGuard {
+    CURRENT.with(|stack| stack.borrow_mut().push(trace.0));
+    TraceGuard { _private: () }
+}
+
+/// The innermost ambient trace on this thread, if any.
+pub fn current_trace() -> Option<TraceId> {
+    CURRENT.with(|stack| stack.borrow().last().copied().map(TraceId))
+}
+
+/// One event on a [`Timeline`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Where the event came from: `"journal"`, `"span"`, or `"note"`.
+    pub source: &'static str,
+    /// Ordering key within the timeline (builder-assigned, dense).
+    pub seq: u64,
+    /// Event name (journal step name, span name, or note label).
+    pub name: String,
+    /// Event time in the source's unit (journal index, span start).
+    pub at: u64,
+    /// Duration in the source's unit (0 for point events).
+    pub duration: u64,
+    /// Attached numeric fields.
+    pub fields: Vec<(String, u64)>,
+}
+
+/// The reconstructed causal story of one trace.
+///
+/// Built by the subsystem that owns the raw material (e.g.
+/// `zkdet-core`'s `trace_timeline`, which folds journal records and
+/// trace-stamped spans); rendered here so every consumer gets the same
+/// deterministic JSON and ASCII shapes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Timeline {
+    /// The trace this timeline narrates.
+    pub trace: TraceId,
+    /// Events in narrative order (push order is preserved).
+    pub events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// An empty timeline for `trace`.
+    pub fn new(trace: TraceId) -> Timeline {
+        Timeline {
+            trace,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an event; `seq` is assigned from the current length.
+    pub fn push(
+        &mut self,
+        source: &'static str,
+        name: impl Into<String>,
+        at: u64,
+        duration: u64,
+        fields: Vec<(String, u64)>,
+    ) {
+        let seq = self.events.len() as u64;
+        self.events.push(TimelineEvent {
+            source,
+            seq,
+            name: name.into(),
+            at,
+            duration,
+            fields,
+        });
+    }
+
+    /// Deterministic JSON export (schema `zkdet-trace-v1`).
+    pub fn to_json(&self) -> Value {
+        let events: Vec<Value> = self
+            .events
+            .iter()
+            .map(|e| {
+                let mut fields = Value::object();
+                for (k, v) in &e.fields {
+                    fields.set(k, *v);
+                }
+                Value::object()
+                    .with("source", e.source)
+                    .with("seq", e.seq)
+                    .with("name", e.name.as_str())
+                    .with("at", e.at)
+                    .with("duration", e.duration)
+                    .with("fields", fields)
+            })
+            .collect();
+        Value::object()
+            .with("schema", TRACE_SCHEMA)
+            .with("trace", self.trace.as_u64())
+            .with("events", events)
+    }
+
+    /// ASCII timeline: one line per event, in narrative order.
+    pub fn render_ascii(&self) -> String {
+        let mut out = format!("trace {}\n", self.trace);
+        let at_width = self
+            .events
+            .iter()
+            .map(|e| e.at.to_string().len())
+            .max()
+            .unwrap_or(1);
+        for e in &self.events {
+            let mut line = format!(
+                "  [{:>7}] {:>width$}  {}",
+                e.source,
+                e.at,
+                e.name,
+                width = at_width
+            );
+            if e.duration > 0 {
+                line.push_str(&format!(" (+{})", e.duration));
+            }
+            for (k, v) in &e.fields {
+                line.push_str(&format!(" {k}={v}"));
+            }
+            line.push('\n');
+            out.push_str(&line);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minting_is_deterministic_and_entity_sensitive() {
+        let a = TraceId::for_exchange(7);
+        let b = TraceId::for_exchange(7);
+        let c = TraceId::for_exchange(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a.as_u64(), 7, "ids are mixed, not raw entities");
+    }
+
+    #[test]
+    fn context_stack_nests_and_restores() {
+        assert_eq!(current_trace(), None);
+        let outer = TraceId::for_exchange(1);
+        let inner = TraceId::for_exchange(2);
+        let _g1 = enter_trace(outer);
+        assert_eq!(current_trace(), Some(outer));
+        {
+            let _g2 = enter_trace(inner);
+            assert_eq!(current_trace(), Some(inner));
+        }
+        assert_eq!(current_trace(), Some(outer));
+        drop(_g1);
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn spans_are_stamped_with_the_ambient_trace() {
+        let r = crate::Recorder::with_manual_clock();
+        let t = TraceId::for_exchange(42);
+        {
+            let _plain = r.span("before");
+        }
+        {
+            let _g = enter_trace(t);
+            let _s = r.span("inside");
+        }
+        let spans = r.finished_spans();
+        assert_eq!(spans[0].fields, vec![]);
+        assert_eq!(spans[1].fields, vec![(TRACE_FIELD, t.as_u64())]);
+    }
+
+    #[test]
+    fn timeline_exports_are_deterministic(){
+        let mut tl = Timeline::new(TraceId::from_u64(0xabcd));
+        tl.push("journal", "list.intent", 0, 0, vec![]);
+        tl.push("span", "exchange.drive", 3, 9, vec![("attempts".into(), 2)]);
+        let json = tl.to_json().encode();
+        assert_eq!(json, tl.to_json().encode());
+        assert!(json.contains("\"schema\":\"zkdet-trace-v1\""));
+        let ascii = tl.render_ascii();
+        assert!(ascii.starts_with("trace 000000000000abcd\n"));
+        assert!(ascii.contains("[journal]"));
+        assert!(ascii.contains("exchange.drive (+9) attempts=2"));
+    }
+}

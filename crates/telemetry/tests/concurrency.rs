@@ -67,6 +67,51 @@ fn spans_nest_per_thread_under_crossbeam_scope() {
 }
 
 #[test]
+fn trace_context_is_thread_local_without_cross_talk() {
+    // Four workers each enter a distinct trace (the crossbeam-partitioned
+    // parallel-verify shape): every span a worker opens must carry its own
+    // trace id, and a thread with no context must stamp nothing — even
+    // while other threads have contexts active.
+    let recorder = Recorder::new();
+    let _outer = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(999));
+    crossbeam::thread::scope(|scope| {
+        for worker in 0..4u64 {
+            let recorder = &recorder;
+            scope.spawn(move |_| {
+                // Worker threads do NOT inherit the spawner's context.
+                assert_eq!(zkdet_telemetry::current_trace(), None);
+                let trace = zkdet_telemetry::TraceId::for_exchange(worker);
+                let _g = zkdet_telemetry::enter_trace(trace);
+                for _ in 0..64 {
+                    let mut s = recorder.span("verify.partition");
+                    s.record("worker", worker);
+                }
+            });
+        }
+        scope.spawn(|_| {
+            // A context-free worker alongside the traced ones.
+            assert_eq!(zkdet_telemetry::current_trace(), None);
+            let _s = recorder.span("verify.untraced");
+        });
+    })
+    .expect("scope");
+
+    let spans = recorder.finished_spans();
+    assert_eq!(spans.len(), 4 * 64 + 1);
+    for s in &spans {
+        let trace = s.fields.iter().find(|(k, _)| *k == "trace").map(|(_, v)| *v);
+        match s.name {
+            "verify.untraced" => assert_eq!(trace, None, "no ambient context, no stamp"),
+            _ => {
+                let worker = s.fields.iter().find(|(k, _)| *k == "worker").unwrap().1;
+                let expected = zkdet_telemetry::TraceId::for_exchange(worker).as_u64();
+                assert_eq!(trace, Some(expected), "span stamped with a foreign trace");
+            }
+        }
+    }
+}
+
+#[test]
 fn counters_are_consistent_under_contention() {
     let registry = Registry::new();
     const THREADS: u64 = 8;

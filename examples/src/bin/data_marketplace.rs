@@ -140,6 +140,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  {} degraded quorum reads, {} erasure shares re-placed by repair",
         rb.degraded_reads, rb.repaired_shares
     );
+    if let Some((_, lat)) = market
+        .metrics()
+        .histograms_snapshot()
+        .into_iter()
+        .find(|(name, _)| name == "zkdet.storage.retrieve.latency_us")
+    {
+        println!(
+            "  retrieval latency over {} fetches: p50 ≤ {} µs, p99 ≤ {} µs",
+            lat.count,
+            lat.quantile(0.50),
+            lat.quantile(0.99)
+        );
+    }
 
     banner("telemetry: metrics summary for this run");
     let snap = zkdet_telemetry::snapshot();

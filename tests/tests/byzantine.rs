@@ -587,6 +587,34 @@ fn byzantine_storage_nodes_cannot_forge_or_starve_the_exchange() {
     for villain in &holders[..2] {
         assert!(m.storage.quarantined_nodes().contains(villain));
     }
+    // Health scoring: both forgers rank strictly above every honest node,
+    // and the census is suspicion-sorted so they lead it.
+    let census = m.storage.node_health();
+    let score_of = |node: &zkdet_storage::NodeId| {
+        census
+            .iter()
+            .find(|s| s.node == *node)
+            .map(|s| s.suspicion)
+            .unwrap_or(0)
+    };
+    let honest_max = census
+        .iter()
+        .filter(|s| s.node != holders[0] && s.node != holders[1])
+        .map(|s| s.suspicion)
+        .max()
+        .unwrap_or(0);
+    for villain in &holders[..2] {
+        let score = score_of(villain);
+        assert!(
+            score > honest_max,
+            "forger suspicion {score} must exceed honest max {honest_max}"
+        );
+        assert!(score >= 600, "quarantined forgers score at least 600");
+    }
+    assert!(
+        census[0].node == holders[0] || census[0].node == holders[1],
+        "census leads with a forger"
+    );
     // Single payment, clean terminal state, durable acked publishes.
     assert_terminal_consistent(&report);
     assert_no_wedged_escrow(&m);

@@ -129,6 +129,19 @@ fn corrupt_replica_is_quarantined_and_refetched() {
         "the tampered replica must have been quarantined"
     );
     assert!(x.m.storage.quarantined_nodes().contains(&holders[0]));
+    // Health scoring mirrors the quarantine: the tamperer carries tamper
+    // evidence and a non-zero suspicion score, while every other node
+    // scores clean.
+    let census = x.m.storage.node_health();
+    let villain = census
+        .iter()
+        .find(|s| s.node == holders[0])
+        .expect("tamperer appears in the census");
+    assert!(villain.tamper_shares >= 1 && villain.quarantined);
+    assert!(villain.suspicion >= 600);
+    for s in census.iter().filter(|s| s.node != holders[0]) {
+        assert_eq!(s.suspicion, 0, "honest nodes carry no suspicion");
+    }
     assert_no_wedged_escrow(&x.m);
 }
 
