@@ -1,0 +1,201 @@
+//! **Throughput figure** — concurrent exchange throughput of the sharded
+//! marketplace on the deterministic executor (not in the paper, which
+//! measures single-exchange latency; the scheduling substrate deserves
+//! its own measurement).
+//!
+//! Three runs over the same workload shape:
+//!
+//! * **concurrent** — `W` simulated workers drive every exchange machine,
+//!   swap machine, per-shard maintenance daemon and the folded-verify
+//!   batcher at once; chaos fault schedules are live on every shard.
+//! * **concurrent (replay)** — the identical configuration again. The
+//!   run must reproduce the first one *byte for byte*: schedule log,
+//!   per-shard journals, and per-exchange trace timelines.
+//! * **serial** — the same harness pinned to one simulated worker, the
+//!   baseline the speedup divides by.
+//!
+//! Throughput is measured on the **simulated clock** (1 tick ≈ 1 ms of
+//! modelled proving time), so the figure is deterministic and the
+//! speedup gate (`> 3×` serial) cannot flake on loaded CI runners; wall
+//! clock is reported separately. Emits `BENCH_fig_throughput.json`
+//! (schema `zkdet-bench-v1`).
+//!
+//! ```text
+//! cargo run --release -p zkdet-bench --bin fig_throughput [--full|--small]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use zkdet_bench::{fmt_duration, time, BenchReport};
+use zkdet_core::throughput::{latency_quantile, run_load, LoadConfig, LoadOutcome};
+use zkdet_telemetry::Value;
+
+/// Workload seed: decides the schedule interleaving, every drawn key and
+/// the chaos fault schedules. Stamped into `meta.bench_seed`.
+const SEED: u64 = 0x7a_c3;
+
+/// Minimum simulated speedup of the concurrent run over the serial
+/// baseline (exchanges per simulated second, normalized by count).
+const MIN_SPEEDUP: f64 = 3.0;
+
+struct Measured {
+    outcome: LoadOutcome,
+    wall_micros: u64,
+    /// Exchanges per simulated second (ticks ≈ ms).
+    sim_rate: f64,
+}
+
+fn measure(label: &str, config: &LoadConfig) -> Measured {
+    let (outcome, elapsed) = time(|| run_load(config).expect("load harness"));
+    let outcome: LoadOutcome = outcome;
+    assert!(
+        outcome.invariant_failures.is_empty(),
+        "{label}: terminal-state invariants violated:\n  {}",
+        outcome.invariant_failures.join("\n  ")
+    );
+    let makespan = outcome.summary.ticks.max(1);
+    let sim_rate = config.exchanges as f64 * 1000.0 / makespan as f64;
+    println!(
+        "{label:>10}: {} exchanges ({} settled / {} refunded / {} aborted), {} swaps, \
+         makespan {} ticks, {:.2} ex/sim-s, {} verify batches over {} proofs, wall {}",
+        config.exchanges,
+        outcome.settled,
+        outcome.refunded,
+        outcome.aborted,
+        outcome.swaps_completed,
+        makespan,
+        sim_rate,
+        outcome.verify_batches,
+        outcome.batched_proofs,
+        fmt_duration(elapsed),
+    );
+    Measured {
+        outcome,
+        wall_micros: elapsed.as_micros() as u64,
+        sim_rate,
+    }
+}
+
+fn row(mode: &str, config: &LoadConfig, m: &Measured) -> Value {
+    Value::object()
+        .with("mode", mode)
+        .with("shards", config.shards as u64)
+        .with("sim_workers", config.sim_workers as u64)
+        .with("exchanges", config.exchanges as u64)
+        .with("withheld", config.withheld as u64)
+        .with("swaps", config.swaps as u64)
+        .with("settled", m.outcome.settled as u64)
+        .with("refunded", m.outcome.refunded as u64)
+        .with("aborted", m.outcome.aborted as u64)
+        .with("swaps_completed", m.outcome.swaps_completed)
+        .with("makespan_ticks", m.outcome.summary.ticks)
+        .with("busy_ticks", m.outcome.summary.busy_ticks)
+        .with("jobs_run", m.outcome.summary.jobs_run)
+        .with("verify_batches", m.outcome.verify_batches)
+        .with("batched_proofs", m.outcome.batched_proofs)
+        .with(
+            "p50_latency_ticks",
+            latency_quantile(&m.outcome.latency_ticks, 0.50).unwrap_or(0),
+        )
+        .with(
+            "p99_latency_ticks",
+            latency_quantile(&m.outcome.latency_ticks, 0.99).unwrap_or(0),
+        )
+        .with("ex_per_sim_sec_milli", (m.sim_rate * 1000.0) as u64)
+        .with("schedule_digest", m.outcome.schedule_digest)
+        .with("run_wall_micros", m.wall_micros)
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let small = std::env::args().any(|a| a == "--small");
+    let telemetry_on = zkdet_bench::init_telemetry();
+    let (preset, config) = if full {
+        ("full", LoadConfig::full(SEED))
+    } else if small {
+        ("small", LoadConfig::small(SEED))
+    } else {
+        (
+            "default",
+            LoadConfig {
+                exchanges: 24,
+                withheld: 4,
+                swaps: 8,
+                ..LoadConfig::full(SEED)
+            },
+        )
+    };
+    let serial_exchanges = (config.exchanges / 3).clamp(2, 6);
+    let serial_withheld = (serial_exchanges / 3).max(1);
+    let serial = config.serial_baseline(serial_exchanges, serial_withheld);
+
+    println!(
+        "sharded marketplace: {} shards, {} sim workers, {} exchanges ({} withheld) + {} swaps, \
+         chaos {}",
+        config.shards,
+        config.sim_workers,
+        config.exchanges,
+        config.withheld,
+        config.swaps,
+        if config.chaos { "on" } else { "off" },
+    );
+
+    let concurrent = measure("concurrent", &config);
+    let replay = measure("replay", &config);
+
+    // ---- byte-identical replay gate ----------------------------------
+    assert_eq!(
+        concurrent.outcome.schedule_digest, replay.outcome.schedule_digest,
+        "replay diverged: schedule digests differ"
+    );
+    assert_eq!(
+        concurrent.outcome.replay, replay.outcome.replay,
+        "replay diverged: schedule log / journals / timelines not byte-identical"
+    );
+    assert_eq!(
+        concurrent.outcome.summary.ticks, replay.outcome.summary.ticks,
+        "replay diverged: simulated makespan differs"
+    );
+    println!(
+        "replay: byte-identical (digest {:#018x}, {} journal bytes, {} timelines)",
+        concurrent.outcome.schedule_digest,
+        concurrent
+            .outcome
+            .replay
+            .journals
+            .iter()
+            .map(Vec::len)
+            .sum::<usize>(),
+        concurrent.outcome.replay.timelines.len(),
+    );
+
+    let serial_run = measure("serial", &serial);
+
+    // ---- speedup gate -------------------------------------------------
+    let speedup = concurrent.sim_rate / serial_run.sim_rate;
+    println!(
+        "simulated speedup: {speedup:.2}x over the {}-exchange serial baseline \
+         (gate: > {MIN_SPEEDUP:.1}x)",
+        serial.exchanges,
+    );
+    assert!(
+        speedup > MIN_SPEEDUP,
+        "concurrent run is only {speedup:.2}x the serial baseline (need > {MIN_SPEEDUP:.1}x)"
+    );
+
+    let mut report = BenchReport::new("fig_throughput");
+    report.meta("preset", preset);
+    report.meta("telemetry", telemetry_on);
+    report.meta("bench_seed", SEED);
+    report.meta("chaos", config.chaos);
+    report.meta("speedup_milli", (speedup * 1000.0) as u64);
+    report.meta("replay_identical", true);
+    report.row(row("concurrent", &config, &concurrent));
+    report.row(row("concurrent_replay", &config, &replay));
+    report.row(row("serial", &serial, &serial_run));
+
+    match report.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artefact: {e}"),
+    }
+}

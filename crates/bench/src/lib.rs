@@ -13,6 +13,7 @@
 //! | `fig_audit` | lineage audit cost: serial vs. batched vs. parallel vs. cached |
 //! | `fig_recovery` | crash-recovery latency vs. crash point and journal length |
 //! | `fig_storage` | quorum availability and repair latency vs. node-failure fraction |
+//! | `fig_throughput` | concurrent exchanges/sec on the deterministic executor, vs. a serial baseline |
 //!
 //! Criterion benches (`cargo bench -p zkdet-bench`) cover the same pipeline
 //! at reduced sizes plus substrate micro-benchmarks (MSM, FFT, pairing,

@@ -359,6 +359,15 @@ impl Blockchain {
 
     /// Deploys the ZKDET data-NFT contract.
     pub fn deploy_nft(&mut self, from: Address) -> (Address, Receipt) {
+        self.deploy_nft_with_base(from, 0)
+    }
+
+    /// Deploys an NFT contract whose token ids start at `base`.
+    ///
+    /// Used by sharded marketplaces: each shard's registry mints from its
+    /// own disjoint token-id range, so a token id routes to its shard
+    /// without a lookup table.
+    pub fn deploy_nft_with_base(&mut self, from: Address, base: u64) -> (Address, Receipt) {
         let nonce = self.state.next_nonce(&from);
         let addr = Address::contract(&from, nonce);
         let mut meter = GasMeter::for_tx(0);
@@ -366,7 +375,7 @@ impl Blockchain {
         // Constructor initialisation: name/symbol/owner slots.
         meter.sstore(true);
         meter.sstore(true);
-        self.nfts.insert(addr, NftContract::new());
+        self.nfts.insert(addr, NftContract::with_base(base));
         let receipt = self.finish_tx(meter, vec![], "deploy ZKDET NFT contract".into());
         (addr, receipt)
     }

@@ -91,6 +91,18 @@ impl NftContract {
         Self::default()
     }
 
+    /// Fresh registry whose token ids start at `base` instead of 0.
+    ///
+    /// A sharded marketplace deploys one registry per shard with disjoint
+    /// `base` values, so every shard mints from its own token-id range and
+    /// a token id alone routes to its shard (DESIGN.md §16).
+    pub fn with_base(base: u64) -> Self {
+        NftContract {
+            next_id: base,
+            ..Self::default()
+        }
+    }
+
     /// Total tokens ever minted minus burned.
     pub fn total_supply(&self) -> u64 {
         self.total_supply

@@ -122,6 +122,18 @@ pub struct SettlementSubmission {
     pub proof: Proof,
 }
 
+/// Everything the π_k prover needs, checked and assembled but not yet
+/// proved — the executor's exchange machine synthesizes this on the
+/// control thread and hands the (CPU-bound) proving to a worker.
+pub struct SettlementWitness {
+    /// The listing being settled.
+    pub listing: ListingId,
+    /// The blinded key `k_c = k + k_v`.
+    pub k_c: Fr,
+    /// The synthesized π_k circuit, ready to prove.
+    pub circuit: zkdet_plonk::CompiledCircuit,
+}
+
 impl Marketplace {
     /// Seller lists a token in a clock auction. The arbiter (auction
     /// contract) is initialized with the commitment `c` to the decryption
@@ -206,25 +218,59 @@ impl Marketplace {
         package: &ValidationPackage,
         rng: &mut R,
     ) -> Result<BuyerSession, ZkdetError> {
+        let token = self.check_validation_binding(listing_id, package)?;
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(token.0));
+        let _span = zkdet_telemetry::span("exchange.validate_and_lock");
+        if !Plonk::verify(&package.vk, &package.publics, &package.proof) {
+            return Err(ZkdetError::ProofInvalid("π_p"));
+        }
+        self.lock_prevalidated(buyer, listing_id, package, rng)
+    }
+
+    /// The binding half of the buyer's π_p check: the proof's statement must
+    /// be about the token's on-chain commitment. The pairing check itself is
+    /// separate so the sharded executor can fold many `Plonk::verify` calls
+    /// into one batched lineage check (DESIGN.md §16) while still rejecting
+    /// mismatched statements up front.
+    pub fn check_validation_binding(
+        &self,
+        listing_id: ListingId,
+        package: &ValidationPackage,
+    ) -> Result<TokenId, ZkdetError> {
         let listing = self
             .chain
             .auction(&self.auction_addr)?
             .listing(listing_id)?
             .clone();
         let token = listing.token;
-        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(token.0));
-        let _span = zkdet_telemetry::span("exchange.validate_and_lock");
         let on_chain_commitment = self.chain.nft(&self.nft_addr)?.token_meta(token)?.commitment;
-
-        // π_p must verify AND bind to the on-chain commitment.
         if package.publics.first() != Some(&on_chain_commitment) {
             return Err(ZkdetError::Inconsistent(
                 "validation proof is about a different commitment".into(),
             ));
         }
-        if !Plonk::verify(&package.vk, &package.publics, &package.proof) {
-            return Err(ZkdetError::ProofInvalid("π_p"));
-        }
+        Ok(token)
+    }
+
+    /// The lock half of [`Marketplace::buyer_validate_and_lock`], for
+    /// callers that already verified π_p (e.g. through a batched pairing
+    /// check). Still re-checks the statement binding — the cheap part —
+    /// so a stale package cannot lock against the wrong token.
+    pub fn lock_prevalidated<R: Rng + ?Sized>(
+        &mut self,
+        buyer: &DataOwner,
+        listing_id: ListingId,
+        package: &ValidationPackage,
+        rng: &mut R,
+    ) -> Result<BuyerSession, ZkdetError> {
+        let token = self.check_validation_binding(listing_id, package)?;
+        let listing = self
+            .chain
+            .auction(&self.auction_addr)?
+            .listing(listing_id)?
+            .clone();
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(token.0));
+        let on_chain_commitment = self.chain.nft(&self.nft_addr)?.token_meta(token)?.commitment;
 
         let k_v = Fr::random(rng);
         let h_v = Poseidon::hash(&[k_v]);
@@ -277,6 +323,28 @@ impl Marketplace {
             seller_listing.token.0,
         ));
         let _span = zkdet_telemetry::span("exchange.prove_settlement");
+        let Some(witness) = self.settlement_witness(owner, seller_listing, buyer_k_v)? else {
+            return Ok(None);
+        };
+        let proof = Plonk::prove(&self.keyneg_pk, &witness.circuit, rng)?;
+        Ok(Some(SettlementSubmission {
+            listing: witness.listing,
+            k_c: witness.k_c,
+            proof,
+        }))
+    }
+
+    /// The check-and-synthesize half of π_k proving: runs every protocol
+    /// check of [`Marketplace::seller_prove_settlement`] and assembles the
+    /// circuit, but leaves the CPU-bound `Plonk::prove` to the caller (the
+    /// executor machines ship it to a worker thread). Returns `None` for an
+    /// already-settled listing, mirroring the prove path's idempotency.
+    pub fn settlement_witness(
+        &self,
+        owner: &DataOwner,
+        seller_listing: &SellerListing,
+        buyer_k_v: Fr,
+    ) -> Result<Option<SettlementWitness>, ZkdetError> {
         let secret = owner
             .secret(seller_listing.token)
             .ok_or(ZkdetError::MissingSecret(seller_listing.token))?;
@@ -316,11 +384,10 @@ impl Marketplace {
             &key_commitment,
             &seller_listing.key_opening,
         );
-        let proof = Plonk::prove(&self.keyneg_pk, &circuit, rng)?;
-        Ok(Some(SettlementSubmission {
+        Ok(Some(SettlementWitness {
             listing: seller_listing.listing,
             k_c,
-            proof,
+            circuit,
         }))
     }
 

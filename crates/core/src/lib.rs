@@ -35,8 +35,11 @@ pub mod error;
 pub mod exchange;
 pub mod fairswap;
 pub mod journal;
+pub mod machine;
 pub mod market;
 pub mod recovery;
+pub mod shard;
+pub mod throughput;
 pub mod trace_timeline;
 pub mod zkcp;
 
@@ -48,7 +51,14 @@ pub use exchange::{
     ValidationPackage,
 };
 pub use journal::{ExchangeRecord, ExchangeWal};
+pub use machine::{
+    BatcherDaemon, ExchangeMachine, ExchangeResult, ExchangeSpec, MaintenanceDaemon, MarketWorld,
+    SwapMachine, SwapSpec, VerifyBatcher,
+};
 pub use recovery::{RecoveredExchange, RecoveredSwap, RecoveryOutcome, RecoveryReport};
+pub use shard::{
+    MarketShard, ShardParties, ShardPlanConfig, ShardedMarketplace, SHARD_TOKEN_STRIDE,
+};
 pub use trace_timeline::{exchange_trace, trace_timeline};
-pub use market::{DataOwner, Marketplace, ProvenanceReport, RobustnessMetrics};
+pub use market::{DataOwner, MarketConfig, Marketplace, ProvenanceReport, RobustnessMetrics};
 pub use zkdet_provenance::{AuditCache, NodeId, ProvenanceIndex, VerifyMode};

@@ -133,6 +133,45 @@ enum Shape {
     Part(Vec<usize>),
 }
 
+/// Deployment parameters for [`Marketplace::bootstrap_with`].
+///
+/// [`Marketplace::bootstrap`] covers the common single-instance case; this
+/// config exists for sharded deployments (DESIGN.md §16) that share one
+/// SRS across shards, mint from disjoint token-id ranges, and inject a
+/// storage fault plan per shard.
+#[derive(Clone)]
+pub struct MarketConfig {
+    /// Pre-built SRS to share (e.g. across shards); `None` runs a fresh
+    /// universal setup sized by `max_constraints`.
+    pub srs: Option<Arc<Srs>>,
+    /// Circuit-size ceiling for a fresh setup (ignored when `srs` is set).
+    pub max_constraints: usize,
+    /// Storage nodes backing this instance's quorum network.
+    pub storage_nodes: usize,
+    /// Infrastructure faults injected into the storage network.
+    pub fault_plan: zkdet_storage::FaultPlan,
+    /// First token id the NFT registry mints. Shards use disjoint bases so
+    /// a token id alone routes to its shard.
+    pub token_base: u64,
+    /// First participant seed [`Marketplace::register`] draws (≥ 1; seed 0
+    /// is the operator). Shards use disjoint bases so participant
+    /// addresses never collide across shards.
+    pub owner_seed_base: u64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            srs: None,
+            max_constraints: 1 << 12,
+            storage_nodes: 8,
+            fault_plan: zkdet_storage::FaultPlan::none(),
+            token_base: 0,
+            owner_seed_base: 1,
+        }
+    }
+}
+
 /// The assembled ZKDET deployment.
 pub struct Marketplace {
     /// The universal SRS (Fig. 5's one-time ceremony output).
@@ -147,8 +186,9 @@ pub struct Marketplace {
     pub auction_addr: Address,
     /// The on-chain verifier for the π_k relation.
     pub keyneg_verifier_addr: Address,
-    /// Proving key for π_k.
-    pub(crate) keyneg_pk: ProvingKey,
+    /// Proving key for π_k (`Arc` so executor proving jobs can carry it to
+    /// worker threads without cloning the key material).
+    pub(crate) keyneg_pk: Arc<ProvingKey>,
     /// Verifying key for π_k (also embedded in the verifier contract).
     pub keyneg_vk: VerifyingKey,
     keys: HashMap<Shape, Arc<(ProvingKey, VerifyingKey)>>,
@@ -178,23 +218,45 @@ impl Marketplace {
         storage_nodes: usize,
         rng: &mut R,
     ) -> Result<Self, ZkdetError> {
+        Marketplace::bootstrap_with(
+            MarketConfig {
+                max_constraints,
+                storage_nodes,
+                ..MarketConfig::default()
+            },
+            rng,
+        )
+    }
+
+    /// [`Marketplace::bootstrap`] with explicit [`MarketConfig`]: a shared
+    /// SRS, a token-id base for the NFT registry, a participant-seed base,
+    /// and a storage fault plan — everything a sharded deployment varies
+    /// per shard.
+    pub fn bootstrap_with<R: Rng + ?Sized>(
+        config: MarketConfig,
+        rng: &mut R,
+    ) -> Result<Self, ZkdetError> {
         let mut span = zkdet_telemetry::span("market.bootstrap");
-        span.record("max_constraints", max_constraints as u64);
-        span.record("storage_nodes", storage_nodes as u64);
-        let srs = Arc::new(Srs::universal_setup(max_constraints + 8, rng));
+        span.record("max_constraints", config.max_constraints as u64);
+        span.record("storage_nodes", config.storage_nodes as u64);
+        span.record("token_base", config.token_base);
+        let srs = match config.srs {
+            Some(srs) => srs,
+            None => Arc::new(Srs::universal_setup(config.max_constraints + 8, rng)),
+        };
         // Byzantine-quorum storage is the default backend: blobs are
         // erasure-coded k-of-n with w-ack durability (8/4/6 at ≥ 8 nodes),
         // so any n − k crashed/corrupt/Byzantine share holders per blob
         // are survivable and repairable.
         let storage = StorageNetwork::with_quorum(
-            storage_nodes,
-            zkdet_storage::QuorumConfig::for_cluster(storage_nodes),
-            zkdet_storage::FaultPlan::none(),
+            config.storage_nodes,
+            zkdet_storage::QuorumConfig::for_cluster(config.storage_nodes),
+            config.fault_plan,
         );
         let mut chain = Blockchain::new();
         let operator = Address::from_seed(0);
         chain.state.fund(operator, 1_000_000_000_000);
-        let (nft_addr, _) = chain.deploy_nft(operator);
+        let (nft_addr, _) = chain.deploy_nft_with_base(operator, config.token_base);
         let (auction_addr, _) = chain.deploy_auction(operator);
 
         // Preprocess the (fixed-shape) π_k relation and deploy its verifier.
@@ -212,11 +274,11 @@ impl Marketplace {
             nft_addr,
             auction_addr,
             keyneg_verifier_addr,
-            keyneg_pk,
+            keyneg_pk: Arc::new(keyneg_pk),
             keyneg_vk,
             keys: HashMap::new(),
             processing_vks: HashMap::new(),
-            next_owner_seed: 1,
+            next_owner_seed: config.owner_seed_base.max(1),
             retrieval_policy: RetrievalPolicy::default(),
             metrics: zkdet_telemetry::Registry::new(),
             audit_cache: AuditCache::new(),
@@ -356,7 +418,7 @@ impl Marketplace {
         Ok(keys)
     }
 
-    fn enc_keys(
+    pub(crate) fn enc_keys(
         &mut self,
         n: usize,
         rng: &mut (impl Rng + ?Sized),
@@ -433,7 +495,7 @@ impl Marketplace {
     }
 
     /// Uploads ciphertext + bundle and mints the token.
-    fn mint_with_bundle(
+    pub(crate) fn mint_with_bundle(
         &mut self,
         owner: &mut DataOwner,
         secret: DatasetSecret,

@@ -202,23 +202,36 @@ impl Marketplace {
         package: &ValidationPackage,
         rng: &mut R,
     ) -> Result<BuyerSession, ZkdetError> {
+        let token = self.check_validation_binding(listing_id, package)?;
+        let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(token.0));
+        if !zkdet_plonk::Plonk::verify(&package.vk, &package.publics, &package.proof) {
+            return Err(ZkdetError::ProofInvalid("π_p"));
+        }
+        self.journaled_lock_prevalidated(wal, buyer, listing_id, package, rng)
+    }
+
+    /// The lock half of [`Marketplace::journaled_validate_and_lock`], for
+    /// callers whose π_p was already verified through a batched pairing
+    /// check (the executor's exchange machines, DESIGN.md §16). Emits the
+    /// exact same `PayIntent`/`PayDone` record stream, so recovery replays
+    /// both flows identically.
+    pub fn journaled_lock_prevalidated<R: Rng + ?Sized>(
+        &mut self,
+        wal: &mut ExchangeWal,
+        buyer: &DataOwner,
+        listing_id: ListingId,
+        package: &ValidationPackage,
+        rng: &mut R,
+    ) -> Result<BuyerSession, ZkdetError> {
+        let token = self.check_validation_binding(listing_id, package)?;
         let listing = self
             .chain
             .auction(&self.auction_addr)?
             .listing(listing_id)?
             .clone();
-        let token = listing.token;
         let _trace = zkdet_telemetry::enter_trace(zkdet_telemetry::TraceId::for_exchange(token.0));
         let _span = zkdet_telemetry::span("exchange.validate_and_lock");
         let on_chain_commitment = self.chain.nft(&self.nft_addr)?.token_meta(token)?.commitment;
-        if package.publics.first() != Some(&on_chain_commitment) {
-            return Err(ZkdetError::Inconsistent(
-                "validation proof is about a different commitment".into(),
-            ));
-        }
-        if !zkdet_plonk::Plonk::verify(&package.vk, &package.publics, &package.proof) {
-            return Err(ZkdetError::ProofInvalid("π_p"));
-        }
         let k_v = Fr::random(rng);
         wal.append(&ExchangeRecord::PayIntent {
             listing: listing_id,

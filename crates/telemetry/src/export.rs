@@ -157,13 +157,16 @@ pub fn render_summary(
         out.push_str("histograms:\n");
         let width = histograms.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
         for (name, h) in histograms {
+            // An empty histogram has no quantiles to print.
+            let quantiles = match (h.quantile(0.50), h.quantile(0.99)) {
+                (Some(p50), Some(p99)) => format!(" p50={p50} p99={p99}"),
+                _ => String::new(),
+            };
             out.push_str(&format!(
-                "  {name:<width$}  count={} sum={} mean={} p50={} p99={}\n",
+                "  {name:<width$}  count={} sum={} mean={}{quantiles}\n",
                 h.count,
                 h.sum,
                 h.mean(),
-                h.quantile(0.50),
-                h.quantile(0.99)
             ));
         }
     }

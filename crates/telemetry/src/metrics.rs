@@ -86,15 +86,18 @@ impl HistogramSnapshot {
 
     /// The `q`-quantile (`q` clamped to `[0, 1]`) as a bucket upper
     /// bound: the inclusive bound of the bucket holding the
-    /// `ceil(q·count)`-th smallest observation. 0 when empty;
-    /// [`u64::MAX`] when the quantile falls in the overflow bucket.
+    /// `ceil(q·count)`-th smallest observation. `None` when the histogram
+    /// is empty — an empty latency distribution has no p50, and reporting
+    /// a zero sample would fabricate a measurement;
+    /// `Some(`[`u64::MAX`]`)` when the quantile falls in the overflow
+    /// bucket.
     ///
     /// The resolution is the bucket width (a factor of 2 for the default
     /// power-of-two bounds) — good enough for p50/p99 latency reporting,
     /// which is what it exists for.
-    pub fn quantile(&self, q: f64) -> u64 {
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         // ceil without going through floats for the boundary cases.
@@ -103,10 +106,10 @@ impl HistogramSnapshot {
         for (i, c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return self.bounds.get(i).copied().unwrap_or(u64::MAX);
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
             }
         }
-        u64::MAX
+        Some(u64::MAX)
     }
 }
 
@@ -252,21 +255,22 @@ mod tests {
         }
         let snap = h.snapshot();
         // ranks: q=0.5 over 5 obs -> 3rd smallest (2) -> bound 2.
-        assert_eq!(snap.quantile(0.5), 2);
+        assert_eq!(snap.quantile(0.5), Some(2));
         // 5th smallest (5) lands in the (4,8] bucket.
-        assert_eq!(snap.quantile(0.99), 8);
-        assert_eq!(snap.quantile(1.0), 8);
+        assert_eq!(snap.quantile(0.99), Some(8));
+        assert_eq!(snap.quantile(1.0), Some(8));
         // q=0 clamps to the first observation's bucket.
-        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(snap.quantile(0.0), Some(1));
     }
 
     #[test]
     fn quantile_edge_cases() {
+        // No observations ⇒ no quantile, not a fabricated zero sample.
         let empty = Histogram::new(vec![1]).snapshot();
-        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.quantile(0.5), None);
         let h = Histogram::new(vec![1]);
         h.observe(100); // overflow bucket
-        assert_eq!(h.snapshot().quantile(0.5), u64::MAX);
+        assert_eq!(h.snapshot().quantile(0.5), Some(u64::MAX));
     }
 
     #[test]

@@ -72,6 +72,20 @@ impl TraceId {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Deliberately re-enters this trace on the *current* thread — the
+    /// explicit handoff for pooled workers.
+    ///
+    /// Trace context never crosses threads implicitly (see the module
+    /// docs), so an executor worker running a proving job on behalf of an
+    /// exchange captures the exchange's [`TraceId`] at submission and
+    /// calls `adopt` inside the worker; every span the job opens is then
+    /// stamped into the exchange's timeline. Equivalent to
+    /// [`enter_trace`], named separately so cross-thread adoption is
+    /// greppable and visibly intentional.
+    pub fn adopt(self) -> TraceGuard {
+        enter_trace(self)
+    }
 }
 
 impl std::fmt::Display for TraceId {
@@ -242,6 +256,29 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_ne!(a.as_u64(), 7, "ids are mixed, not raw entities");
+    }
+
+    #[test]
+    fn adopt_reenters_a_trace_on_a_worker_thread() {
+        let trace = TraceId::for_exchange(99);
+        // Workers never inherit ambient context…
+        let _outer = enter_trace(trace);
+        let inherited = std::thread::spawn(current_trace)
+            .join()
+            .unwrap_or(Some(TraceId::from_u64(0)));
+        assert_eq!(inherited, None);
+        // …but an explicit adopt re-enters it, and the guard restores.
+        let adopted = std::thread::spawn(move || {
+            let before = current_trace();
+            let seen = {
+                let _g = trace.adopt();
+                current_trace()
+            };
+            (before, seen, current_trace())
+        })
+        .join()
+        .unwrap_or((None, None, None));
+        assert_eq!(adopted, (None, Some(trace), None));
     }
 
     #[test]

@@ -146,12 +146,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .find(|(name, _)| name == "zkdet.storage.retrieve.latency_us")
     {
-        println!(
-            "  retrieval latency over {} fetches: p50 ≤ {} µs, p99 ≤ {} µs",
-            lat.count,
-            lat.quantile(0.50),
-            lat.quantile(0.99)
-        );
+        // An empty histogram has no quantiles; skip the line rather than
+        // print a fabricated zero latency.
+        if let (Some(p50), Some(p99)) = (lat.quantile(0.50), lat.quantile(0.99)) {
+            println!(
+                "  retrieval latency over {} fetches: p50 ≤ {p50} µs, p99 ≤ {p99} µs",
+                lat.count,
+            );
+        }
     }
 
     banner("telemetry: metrics summary for this run");

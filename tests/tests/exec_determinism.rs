@@ -1,0 +1,102 @@
+//! Determinism of the concurrent execution substrate.
+//!
+//! The scheme's traceability story (DESIGN.md §16) depends on the
+//! executor being a *deterministic* simulator: for a fixed seed, the
+//! interleaving of every exchange machine, swap machine, maintenance
+//! daemon and verify batcher — and therefore every journal byte and
+//! every trace timeline — is a pure function of the configuration. The
+//! property test drives well over 100 interleaved exchanges (key-secure
+//! machines plus FairSwap machines) through [`run_load`] twice per
+//! sampled seed and requires the two runs to match **byte for byte**:
+//! identical schedule logs, identical per-shard WAL streams, identical
+//! per-exchange timelines, identical simulated makespan.
+//!
+//! Chaos fault schedules stay ON: injected storage faults are seeded,
+//! so they must not cost determinism (that is the point of simulating
+//! them instead of sleeping).
+
+use proptest::prelude::*;
+use zkdet_core::throughput::{run_load, LoadConfig, LoadOutcome};
+
+/// ≥ 100 interleaved exchanges: a few full key-secure exchange machines
+/// (PLONK proving on the worker pool) stirred into a large pool of cheap
+/// FairSwap machines, across 2 shards.
+fn workload(seed: u64) -> LoadConfig {
+    LoadConfig {
+        seed,
+        shards: 2,
+        sim_workers: 6,
+        exchanges: 4,
+        withheld: 1,
+        swaps: 100,
+        dataset_len: 2,
+        bits: 8,
+        max_constraints: 1 << 13,
+        storage_nodes: 8,
+        chaos: true,
+    }
+}
+
+fn digest_of(outcome: &LoadOutcome) -> (u64, u64, usize) {
+    (
+        outcome.schedule_digest,
+        outcome.summary.ticks,
+        outcome.replay.schedule_log.len(),
+    )
+}
+
+proptest! {
+    // Each case runs the full workload twice; PLONK proving keeps a case
+    // at tens of seconds in debug, so a couple of sampled seeds is the
+    // budget (the bench binary replays the larger preset on every run).
+    #![proptest_config(ProptestConfig {
+        cases: 2,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn identically_seeded_runs_are_byte_identical(seed in 0u64..1 << 48) {
+        let first = run_load(&workload(seed)).expect("first run");
+        let second = run_load(&workload(seed)).expect("second run");
+
+        prop_assert!(
+            first.invariant_failures.is_empty(),
+            "terminal invariants violated: {:?}",
+            first.invariant_failures
+        );
+        prop_assert_eq!(digest_of(&first), digest_of(&second));
+        // The full byte-level witness: executor schedule log, every
+        // shard's journal stream, every exchange's trace timeline.
+        prop_assert_eq!(&first.replay.schedule_log, &second.replay.schedule_log);
+        prop_assert_eq!(first.replay.journals.len(), second.replay.journals.len());
+        for (a, b) in first.replay.journals.iter().zip(&second.replay.journals) {
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(&first.replay.timelines, &second.replay.timelines);
+        // And the outcome statistics they imply.
+        prop_assert_eq!(first.settled, second.settled);
+        prop_assert_eq!(first.refunded, second.refunded);
+        prop_assert_eq!(first.aborted, second.aborted);
+        prop_assert_eq!(first.swaps_completed, second.swaps_completed);
+        prop_assert_eq!(first.latency_ticks, second.latency_ticks);
+    }
+}
+
+#[test]
+fn different_seeds_change_the_schedule() {
+    // Sanity check on the witness itself: the schedule log is not some
+    // constant that would make the byte-equality above vacuous. A small
+    // swap-only workload keeps this fast.
+    let mut base = workload(7);
+    base.exchanges = 0;
+    base.withheld = 0;
+    base.swaps = 12;
+    let mut other = base.clone();
+    other.seed = 8;
+    let a = run_load(&base).expect("seed 7");
+    let b = run_load(&other).expect("seed 8");
+    assert_ne!(
+        a.replay.schedule_log, b.replay.schedule_log,
+        "different seeds must produce different interleavings"
+    );
+}
