@@ -1,0 +1,114 @@
+//! `zkdet_analyzer` — the CI gate for workspace determinism.
+//!
+//! Scans every workspace crate's sources with the determinism lint and
+//! emits a deterministic `zkdet-analyzer-v1` JSON report. Exit status:
+//!
+//! * `0` — no unallowed finding at or above the threshold (default:
+//!   `warning`);
+//! * `1` — at least one gating finding;
+//! * `2` — usage or I/O error.
+//!
+//! ```text
+//! zkdet_analyzer [--root <dir>] [--severity info|warning|error] [--json-out report.json]
+//! ```
+
+// The report and summary are this binary's contract with CI; printing *is*
+// the job here, unlike in the library crates the workspace lints police.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use zkdet_analyzer::report::scan_to_value;
+use zkdet_analyzer::{scan_workspace, Severity};
+
+struct Options {
+    root: String,
+    threshold: Severity,
+    json_out: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: zkdet_analyzer [--root <dir>] [--severity info|warning|error] [--json-out report.json]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(args: &[String]) -> Result<Options, ()> {
+    let mut opts = Options {
+        root: ".".to_string(),
+        threshold: Severity::Warning,
+        json_out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => opts.root = it.next().ok_or(())?.clone(),
+            "--severity" => {
+                let label = it.next().ok_or(())?;
+                opts.threshold = Severity::parse(label).ok_or(())?;
+            }
+            "--json-out" => opts.json_out = Some(it.next().ok_or(())?.clone()),
+            _ => return Err(()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Ok(opts) = parse_args(&args) else {
+        return usage();
+    };
+
+    let scan = match scan_workspace(std::path::Path::new(&opts.root)) {
+        Ok(scan) => scan,
+        Err(e) => {
+            eprintln!("zkdet_analyzer: scan of {} failed: {e}", opts.root);
+            return ExitCode::from(2);
+        }
+    };
+
+    let gating: Vec<_> = scan.gating(opts.threshold).collect();
+    let allowed = scan.findings.iter().filter(|f| f.allowed.is_some()).count();
+    println!(
+        "scanned {} files: {} finding(s), {} allowlisted, {} gating at '{}'",
+        scan.files_scanned,
+        scan.findings.len(),
+        allowed,
+        gating.len(),
+        opts.threshold.label(),
+    );
+    for f in &gating {
+        println!(
+            "  [{}] {}:{} {}: {}",
+            f.rule.severity().label(),
+            f.file,
+            f.line,
+            f.rule.slug(),
+            f.message
+        );
+    }
+
+    let report = scan_to_value(&scan, opts.threshold, &opts.root);
+    let encoded = report.encode_pretty();
+    if let Some(path) = &opts.json_out {
+        if let Err(e) = std::fs::write(path, &encoded) {
+            eprintln!("zkdet_analyzer: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("report written to {path}");
+    }
+
+    if gating.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "zkdet_analyzer: {} finding(s) at or above '{}'",
+            gating.len(),
+            opts.threshold.label()
+        );
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,324 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The determinism lint does not need a full parser — it pattern-matches
+//! over token sequences (`Instant :: now`, `name . iter (`, `for … in …`)
+//! plus the comment stream (for `// zkdet-analyzer: allow(…)` directives).
+//! This lexer therefore only distinguishes identifiers, punctuation,
+//! literals and lifetimes, but it is exact about the hard parts that would
+//! otherwise cause false positives: nested block comments, raw strings,
+//! byte strings, and char-literal-versus-lifetime disambiguation. Every
+//! token and comment carries its 1-based source line.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`for`, `HashMap`, `r#type` → `type`).
+    Ident(String),
+    /// A single punctuation character (`:` appears twice for `::`).
+    Punct(char),
+    /// String/char/numeric literal (contents irrelevant to the lint).
+    Lit,
+    /// A lifetime such as `'a` (distinct from char literals).
+    Lifetime,
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token kind/payload.
+    pub tok: Tok,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A comment with its 1-based source line (directives are parsed from
+/// these; doc comments are included).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` framing.
+    pub text: String,
+}
+
+/// Lexes `src`, returning the token stream and the comment stream.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                i += 2;
+                let mut depth = 1u32;
+                let text_start = start;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(text_start);
+                comments.push(Comment {
+                    line: start_line,
+                    text: b[text_start..end].iter().collect(),
+                });
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+                toks.push(Token { tok: Tok::Lit, line });
+            }
+            'r' | 'b' if starts_raw_or_byte(&b, i) => {
+                let tok_line = line;
+                i = skip_prefixed_literal(&b, i, &mut line);
+                toks.push(Token {
+                    tok: Tok::Lit,
+                    line: tok_line,
+                });
+            }
+            '\'' => {
+                // Lifetime iff the next char starts an identifier and the
+                // char after that is not a closing quote (`'a` vs `'a'`).
+                let is_lifetime = i + 1 < b.len()
+                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                    && !(i + 2 < b.len() && b[i + 2] == '\'');
+                if is_lifetime {
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    toks.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    if i < b.len() && b[i] == '\\' {
+                        i += 2;
+                        // Skip escape payloads like \u{1F600} or \x7f.
+                        while i < b.len() && b[i] != '\'' {
+                            i += 1;
+                        }
+                    } else if i < b.len() {
+                        i += 1;
+                    }
+                    if i < b.len() && b[i] == '\'' {
+                        i += 1;
+                    }
+                    toks.push(Token { tok: Tok::Lit, line });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(b[start..i].iter().collect()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numeric literal: digits plus alphanumeric suffix/radix
+                // chars. Deliberately does not consume `.` so ranges
+                // (`0..10`) and method calls on literals stay intact.
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Token { tok: Tok::Lit, line });
+            }
+            other => {
+                toks.push(Token {
+                    tok: Tok::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Does position `i` (at `r` or `b`) start a raw/byte string or raw ident?
+fn starts_raw_or_byte(b: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    if b[i] == 'b' && j < b.len() && b[j] == 'r' {
+        j += 1;
+    }
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && (b[j] == '"' || (b[i] == 'b' && b[j] == '\''))
+}
+
+/// Skips a `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'…'` literal, returning
+/// the index just past it.
+fn skip_prefixed_literal(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let raw = b[i] == 'r' || (i + 1 < b.len() && b[i + 1] == 'r');
+    i += 1; // past r or b
+    if i < b.len() && b[i] == 'r' {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() {
+        return i;
+    }
+    if b[i] == '\'' {
+        // b'…' byte char.
+        i += 1;
+        if i < b.len() && b[i] == '\\' {
+            i += 2;
+        } else {
+            i += 1;
+        }
+        if i < b.len() && b[i] == '\'' {
+            i += 1;
+        }
+        return i;
+    }
+    i += 1; // past the opening quote
+    if raw {
+        while i < b.len() {
+            if b[i] == '\n' {
+                *line += 1;
+            }
+            if b[i] == '"' {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while j < b.len() && b[j] == '#' && seen < hashes {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return j;
+                }
+            }
+            i += 1;
+        }
+        i
+    } else {
+        skip_string_body(b, i, line)
+    }
+}
+
+/// Skips a `"…"` string starting at the opening quote.
+fn skip_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    skip_string_body(b, i + 1, line)
+}
+
+/// Skips string content starting just inside the quotes.
+fn skip_string_body(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let (toks, _) = lex("let x = a::b.c();");
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[0], Tok::Ident(s) if s == "let"));
+        assert!(kinds.iter().any(|t| matches!(t, Tok::Punct(':'))));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"f("Instant::now inside string")"#), vec!["f"]);
+        assert_eq!(idents(r##"g(r#"HashMap "quoted" inside raw"#)"##), vec!["g"]);
+        assert_eq!(idents(r#"h(b"SystemTime bytes")"#), vec!["h"]);
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenized() {
+        let (toks, comments) = lex("// thread_rng in comment\nfn f() {}\n/* block\nInstant */");
+        assert!(!toks.iter().any(|t| matches!(&t.tok, Tok::Ident(s) if s == "thread_rng")));
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("thread_rng"));
+        assert_eq!(comments[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(comments.len(), 1);
+        assert!(matches!(&toks[0].tok, Tok::Ident(s) if s == "fn"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let (toks, _) = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numeric_literals_leave_ranges_alone() {
+        let (toks, _) = lex("for i in 0..10 {}");
+        assert!(toks.iter().any(|t| matches!(&t.tok, Tok::Ident(s) if s == "in")));
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::Punct('.')).count(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! # zkdet-analyzer — workspace determinism analyzer
+//!
+//! PR 9's guarantees (byte-identical replay, the >3x throughput gate)
+//! rest on an assumption no test can prove by running twice: that nothing
+//! in a simulation-visible path consults wall-clock time, ambient
+//! randomness, or unordered-map iteration order. This crate makes the
+//! assumption a machine-checked gate (DESIGN.md §17), the way zkdet-lint
+//! did for circuit soundness:
+//!
+//! * [`scan`] — a source-level determinism lint over every workspace
+//!   crate, built on a hand-rolled lexer ([`lexer`]); rule taxonomy in
+//!   [`rules`], suppression via auditable
+//!   `// zkdet-analyzer: allow(<rule>) <reason>` directives.
+//! * [`race`] — a vector-clock happens-before checker over the declared
+//!   World-state access sets of a `zkdet-exec` run, reporting conflicting
+//!   same-tick accesses that only the seed tiebreak orders.
+//! * [`report`] — both engines' results as deterministic
+//!   `zkdet-analyzer-v1` JSON (zkdet-telemetry codec).
+//!
+//! The `zkdet_analyzer` binary is the CI entry point; the race checker is
+//! self-gated in `fig_throughput` and the `exec_determinism` suite.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod race;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use race::{check_accesses, Conflict, RaceReport};
+pub use rules::{Finding, Rule, Severity, ALL_RULES};
+pub use scan::{scan_source, scan_workspace, FileClass, ScanReport};

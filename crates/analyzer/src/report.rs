@@ -1,0 +1,155 @@
+//! The deterministic `zkdet-analyzer-v1` JSON report.
+//!
+//! Shares the zkdet-telemetry codec (sorted object keys, stable number
+//! formatting) so two scans of the same tree produce identical bytes —
+//! the report is itself an artefact the determinism suite can diff.
+
+use zkdet_telemetry::Value;
+
+use crate::race::RaceReport;
+use crate::rules::{Finding, Severity};
+use crate::scan::ScanReport;
+use crate::ALL_RULES;
+
+/// Serializes one finding.
+pub fn finding_to_value(f: &Finding) -> Value {
+    let mut v = Value::object()
+        .with("rule", f.rule.slug())
+        .with("severity", f.rule.severity().label())
+        .with("file", f.file.as_str())
+        .with("line", u64::from(f.line))
+        .with("message", f.message.as_str())
+        .with("allowed", f.allowed.is_some());
+    if let Some(reason) = &f.allowed {
+        v = v.with("reason", reason.as_str());
+    }
+    v
+}
+
+/// Serializes a race-check outcome (embedded by the harnesses that run
+/// the detector over a live access log).
+pub fn race_to_value(r: &RaceReport) -> Value {
+    Value::object()
+        .with("accesses", r.accesses as u64)
+        .with("resources", r.resources as u64)
+        .with("ticks", r.ticks as u64)
+        .with("conflicts", r.conflicts.len() as u64)
+        .with("truncated", r.truncated)
+        .with(
+            "conflict_sites",
+            r.conflicts
+                .iter()
+                .map(|c| {
+                    Value::object()
+                        .with("shard", u64::from(c.shard))
+                        .with("key", c.key.as_str())
+                        .with("tick", c.first.tick)
+                        .with(
+                            "first",
+                            Value::object()
+                                .with("task", c.first.task)
+                                .with("label", c.first.label.as_str())
+                                .with("write", c.first.write),
+                        )
+                        .with(
+                            "second",
+                            Value::object()
+                                .with("task", c.second.task)
+                                .with("label", c.second.label.as_str())
+                                .with("write", c.second.write),
+                        )
+                })
+                .collect::<Vec<Value>>(),
+        )
+}
+
+/// Builds the full `zkdet-analyzer-v1` report for a workspace scan.
+pub fn scan_to_value(scan: &ScanReport, threshold: Severity, root: &str) -> Value {
+    let gating = scan.gating(threshold).count();
+    let (mut errors, mut warnings, mut infos, mut allowed) = (0u64, 0u64, 0u64, 0u64);
+    for f in &scan.findings {
+        if f.allowed.is_some() {
+            allowed += 1;
+            infos += 1;
+            continue;
+        }
+        match f.rule.severity() {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+            Severity::Info => infos += 1,
+        }
+    }
+    Value::object()
+        .with("schema", "zkdet-analyzer-v1")
+        .with("root", root)
+        .with("severity_threshold", threshold.label())
+        .with("files_scanned", scan.files_scanned as u64)
+        .with(
+            "rules",
+            ALL_RULES
+                .into_iter()
+                .map(|r| {
+                    Value::object()
+                        .with("slug", r.slug())
+                        .with("severity", r.severity().label())
+                        .with("description", r.description())
+                })
+                .collect::<Vec<Value>>(),
+        )
+        .with(
+            "findings",
+            scan.findings.iter().map(finding_to_value).collect::<Vec<Value>>(),
+        )
+        .with(
+            "totals",
+            Value::object()
+                .with("error", errors)
+                .with("warning", warnings)
+                .with("info", infos)
+                .with("allowed", allowed)
+                .with("gating", gating as u64),
+        )
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+    use crate::scan::{scan_source, FileClass};
+
+    #[test]
+    fn report_is_deterministic_and_schema_tagged() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let scan = ScanReport {
+            findings: scan_source("x.rs", src, FileClass { library: true }),
+            files_scanned: 1,
+        };
+        let a = scan_to_value(&scan, Severity::Warning, ".").encode_pretty();
+        let b = scan_to_value(&scan, Severity::Warning, ".").encode_pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("zkdet-analyzer-v1"));
+        let parsed = Value::parse(&a).unwrap();
+        assert_eq!(
+            parsed.get("totals").and_then(|t| t.get("gating")).and_then(Value::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn allowed_findings_carry_their_reason() {
+        let f = Finding {
+            rule: Rule::UnorderedIteration,
+            file: "m.rs".into(),
+            line: 3,
+            message: "m.iter()".into(),
+            allowed: Some("lookup table; export sorts".into()),
+        };
+        let v = finding_to_value(&f);
+        assert!(matches!(v.get("allowed"), Some(Value::Bool(true))));
+        assert_eq!(
+            v.get("reason").and_then(Value::as_str),
+            Some("lookup table; export sorts")
+        );
+    }
+}

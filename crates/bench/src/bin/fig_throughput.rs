@@ -169,6 +169,24 @@ fn main() {
         concurrent.outcome.replay.timelines.len(),
     );
 
+    // ---- race-detector self-gate --------------------------------------
+    // Byte-identical replay only proves determinism under THIS seed; the
+    // happens-before check over the declared access sets proves no
+    // conflicting access was ordered by the seed tiebreak alone.
+    let race = zkdet_analyzer::check_accesses(&concurrent.outcome.accesses);
+    for c in &race.conflicts {
+        eprintln!("  {c}");
+    }
+    assert!(
+        race.is_clean(),
+        "race detector found {} conflicting unordered access pair(s)",
+        race.conflicts.len()
+    );
+    println!(
+        "race check: {} accesses over {} resources across {} ticks, 0 conflicts",
+        race.accesses, race.resources, race.ticks,
+    );
+
     let serial_run = measure("serial", &serial);
 
     // ---- speedup gate -------------------------------------------------
@@ -190,6 +208,9 @@ fn main() {
     report.meta("chaos", config.chaos);
     report.meta("speedup_milli", (speedup * 1000.0) as u64);
     report.meta("replay_identical", true);
+    report.meta("race_accesses", race.accesses as u64);
+    report.meta("race_resources", race.resources as u64);
+    report.meta("race_conflicts", race.conflicts.len() as u64);
     report.row(row("concurrent", &config, &concurrent));
     report.row(row("concurrent_replay", &config, &replay));
     report.row(row("serial", &serial, &serial_run));

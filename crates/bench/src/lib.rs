@@ -49,6 +49,7 @@ pub fn bench_rng() -> StdRng {
 
 /// Times one invocation.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    // zkdet-analyzer: allow(wall-clock) bench wall timing feeds only *_ns artefact keys, never simulation state
     let t0 = Instant::now();
     let out = f();
     (out, t0.elapsed())

@@ -1,7 +1,7 @@
 //! The blockchain: transaction execution, receipts, blocks and the typed
 //! contract-call surface used by the ZKDET protocols.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use zkdet_crypto::sha256;
 use zkdet_field::Fr;
@@ -204,18 +204,18 @@ pub struct Blockchain {
     pub state: WorldState,
     blocks: Vec<Block>,
     pending: Vec<Receipt>,
-    nfts: HashMap<Address, NftContract>,
-    verifiers: HashMap<Address, VerifierContract>,
-    auctions: HashMap<Address, AuctionContract>,
-    fairswaps: HashMap<Address, FairSwapContract>,
+    nfts: BTreeMap<Address, NftContract>,
+    verifiers: BTreeMap<Address, VerifierContract>,
+    auctions: BTreeMap<Address, AuctionContract>,
+    fairswaps: BTreeMap<Address, FairSwapContract>,
     tx_counter: u64,
     /// Settlement journal: listing → height it settled at. Consulted by the
     /// settle entry points so duplicate or replayed transactions are
     /// recognised ([`ChainError::AlreadySettled`]) instead of failing with
     /// an opaque state error or, worse, double-paying.
-    listing_settlements: HashMap<(Address, ListingId), u64>,
+    listing_settlements: BTreeMap<(Address, ListingId), u64>,
     /// Same journal for FairSwap terminal transitions (complete/refund).
-    swap_closures: HashMap<(Address, SwapId), u64>,
+    swap_closures: BTreeMap<(Address, SwapId), u64>,
 }
 
 impl Default for Blockchain {
@@ -237,13 +237,13 @@ impl Blockchain {
             state: WorldState::new(),
             blocks: vec![genesis],
             pending: vec![],
-            nfts: HashMap::new(),
-            verifiers: HashMap::new(),
-            auctions: HashMap::new(),
-            fairswaps: HashMap::new(),
+            nfts: BTreeMap::new(),
+            verifiers: BTreeMap::new(),
+            auctions: BTreeMap::new(),
+            fairswaps: BTreeMap::new(),
             tx_counter: 0,
-            listing_settlements: HashMap::new(),
-            swap_closures: HashMap::new(),
+            listing_settlements: BTreeMap::new(),
+            swap_closures: BTreeMap::new(),
         }
     }
 
@@ -269,6 +269,58 @@ impl Blockchain {
     /// All mined blocks.
     pub fn blocks(&self) -> &[Block] {
         &self.blocks
+    }
+
+    /// A canonical byte export of the full chain state: blocks, account
+    /// balances and nonces, every contract's live objects, and the
+    /// settlement journals — all walked in key order, so two chains that
+    /// executed the same history export identical bytes. The determinism
+    /// suite compares exports from same-seed runs byte-for-byte; any
+    /// unordered-map iteration leaking into chain state breaks it.
+    pub fn export_bytes(&self) -> Vec<u8> {
+        use core::fmt::Write as _;
+        let mut s = String::new();
+        let w = &mut s;
+        let _ = writeln!(w, "zkdet-chain-export-v1");
+        let _ = writeln!(w, "height {}", self.height());
+        let _ = writeln!(w, "tx_counter {}", self.tx_counter);
+        for b in &self.blocks {
+            let _ = writeln!(w, "block {} {:02x?} {:02x?} {}", b.height, b.hash, b.parent, b.receipts.len());
+        }
+        for (addr, bal) in self.state.accounts() {
+            let _ = writeln!(w, "balance {addr} {bal}");
+        }
+        for (addr, nonce) in self.state.nonces() {
+            let _ = writeln!(w, "nonce {addr} {nonce}");
+        }
+        for (addr, nft) in &self.nfts {
+            for (id, owner, meta) in nft.tokens() {
+                let _ = writeln!(w, "nft {addr} {id:?} {owner} {meta:?}");
+            }
+        }
+        for (addr, auction) in &self.auctions {
+            for (id, listing) in auction.listings() {
+                let _ = writeln!(w, "listing {addr} {id:?} {listing:?}");
+            }
+        }
+        for (addr, fs) in &self.fairswaps {
+            for (id, swap) in fs.swaps() {
+                let _ = writeln!(w, "swap {addr} {id:?} {swap:?}");
+            }
+        }
+        for ((addr, listing), height) in &self.listing_settlements {
+            let _ = writeln!(w, "settled {addr} {listing:?} {height}");
+        }
+        for ((addr, swap), height) in &self.swap_closures {
+            let _ = writeln!(w, "closed {addr} {swap:?} {height}");
+        }
+        s.into_bytes()
+    }
+
+    /// SHA-256 of [`Blockchain::export_bytes`] — a cheap chain-state
+    /// fingerprint for determinism checks and reports.
+    pub fn export_digest(&self) -> [u8; 32] {
+        sha256(&self.export_bytes())
     }
 
     /// Receipts executed but not yet mined into a block.

@@ -15,7 +15,7 @@
 //!   [`AuctionContract::leaked_keys`] returns every key disclosed this way,
 //!   letting tests and examples demonstrate the flaw ZKDET removes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use zkdet_crypto::poseidon::Poseidon;
 use zkdet_field::Fr;
@@ -96,7 +96,7 @@ pub const REFUND_TIMEOUT_BLOCKS: u64 = 100;
 /// The clock-auction + exchange-arbiter contract.
 #[derive(Clone, Debug, Default)]
 pub struct AuctionContract {
-    listings: HashMap<ListingId, Listing>,
+    listings: BTreeMap<ListingId, Listing>,
     next_id: u64,
     /// Keys disclosed through the ZKCP path (public calldata!).
     zkcp_disclosed_keys: Vec<(ListingId, Fr)>,
@@ -117,7 +117,7 @@ impl AuctionContract {
         self.listings.get(&id).ok_or(ChainError::NoSuchListing(id))
     }
 
-    /// Iterates over every listing (order unspecified). Crash recovery
+    /// Iterates over every listing in id order. Crash recovery
     /// uses this to re-find a listing whose id was lost with process
     /// memory, matching on `(seller, token, key_commitment)`.
     pub fn listings(&self) -> impl Iterator<Item = (ListingId, &Listing)> {

@@ -15,7 +15,7 @@
 //! points to when it says FairSwap's "transaction cost for proof
 //! verification increases with data size".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use zkdet_crypto::mimc::Mimc;
 use zkdet_crypto::poseidon::Poseidon;
@@ -86,7 +86,7 @@ pub const COMPLAINT_WINDOW_BLOCKS: u64 = 50;
 /// The FairSwap contract.
 #[derive(Clone, Debug, Default)]
 pub struct FairSwapContract {
-    swaps: HashMap<SwapId, Swap>,
+    swaps: BTreeMap<SwapId, Swap>,
     next_id: u64,
 }
 
@@ -109,7 +109,7 @@ impl FairSwapContract {
         self.swaps.get(&id).ok_or(ChainError::NoSuchSwap(id))
     }
 
-    /// Iterates over every swap (order unspecified). Crash recovery uses
+    /// Iterates over every swap in id order. Crash recovery uses
     /// this to re-find a swap whose id was lost with process memory,
     /// matching on the offer's roots and key hash.
     pub fn swaps(&self) -> impl Iterator<Item = (SwapId, &Swap)> {

@@ -6,7 +6,7 @@
 //! `prevIds[]` provenance field linking to parent tokens, and a pointer to
 //! the proof bundle (`π_e`, `π_t`) for the transformation that produced it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use zkdet_field::Fr;
@@ -71,10 +71,10 @@ pub struct TokenMeta {
 /// maps on every call.
 #[derive(Clone, Debug, Default)]
 pub struct NftContract {
-    owners: HashMap<TokenId, Address>,
-    meta: HashMap<TokenId, TokenMeta>,
-    approvals: HashMap<TokenId, Address>,
-    balances: HashMap<Address, u64>,
+    owners: BTreeMap<TokenId, Address>,
+    meta: BTreeMap<TokenId, TokenMeta>,
+    approvals: BTreeMap<TokenId, Address>,
+    balances: BTreeMap<Address, u64>,
     next_id: u64,
     total_supply: u64,
     index: ProvenanceIndex,
@@ -129,6 +129,14 @@ impl NftContract {
     /// [`ChainError::NoSuchToken`] for unknown or burned tokens.
     pub fn token_meta(&self, id: TokenId) -> Result<&TokenMeta, ChainError> {
         self.meta.get(&id).ok_or(ChainError::NoSuchToken(id))
+    }
+
+    /// Iterates every live token in id order with its owner and metadata
+    /// (the chain-state export walks this).
+    pub fn tokens(&self) -> impl Iterator<Item = (TokenId, &Address, &TokenMeta)> {
+        self.owners.iter().filter_map(|(id, owner)| {
+            self.meta.get(id).map(|meta| (*id, owner, meta))
+        })
     }
 
     /// Mints a token. Parents must exist; the transformation kind must be

@@ -1,6 +1,6 @@
 //! World state: account balances and nonces.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::types::{Address, Wei};
 
@@ -33,8 +33,8 @@ impl std::error::Error for StateError {}
 /// The mutable account state of the chain.
 #[derive(Debug, Clone, Default)]
 pub struct WorldState {
-    balances: HashMap<Address, Wei>,
-    nonces: HashMap<Address, u64>,
+    balances: BTreeMap<Address, Wei>,
+    nonces: BTreeMap<Address, u64>,
 }
 
 impl WorldState {
@@ -70,6 +70,16 @@ impl WorldState {
         *self.balances.entry(from).or_insert(0) -= amount;
         *self.balances.entry(to).or_insert(0) += amount;
         Ok(())
+    }
+
+    /// Iterates every funded account in address order (chain-state export).
+    pub fn accounts(&self) -> impl Iterator<Item = (&Address, &Wei)> {
+        self.balances.iter()
+    }
+
+    /// Iterates every account nonce in address order (chain-state export).
+    pub fn nonces(&self) -> impl Iterator<Item = (&Address, &u64)> {
+        self.nonces.iter()
     }
 
     /// Returns and increments an account's nonce.

@@ -16,7 +16,7 @@
 //! check (`verify_lineage` in batched mode), falling back to per-proof
 //! verification only if a batch rejects.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -83,7 +83,7 @@ pub enum PkSlot {
 pub struct VerifyBatcher {
     next_ticket: u64,
     queue: Vec<(u64, LineageCheck)>,
-    verdicts: HashMap<u64, bool>,
+    verdicts: BTreeMap<u64, bool>,
     /// Proofs verified through folded batches (for reports).
     pub batched_proofs: u64,
     /// Folded batches flushed (for reports).
@@ -155,7 +155,7 @@ pub struct MarketWorld {
     /// Cross-exchange π_p verification batcher.
     pub batcher: VerifyBatcher,
     /// Shared preprocessed π_p keys, keyed by `(dataset len, range bits)`.
-    pub pk_cache: HashMap<(usize, usize), PkSlot>,
+    pub pk_cache: BTreeMap<(usize, usize), PkSlot>,
     /// Terminal results, in completion order (deterministic).
     pub results: Vec<ExchangeResult>,
     /// Swap machines completed (for reports).
@@ -169,7 +169,7 @@ impl MarketWorld {
             sharded,
             owners,
             batcher: VerifyBatcher::default(),
-            pk_cache: HashMap::new(),
+            pk_cache: BTreeMap::new(),
             results: Vec::new(),
             swaps_completed: 0,
         }
@@ -314,6 +314,14 @@ impl Task<MarketWorld> for ExchangeMachine {
         // journaled flows' causal story.
         let _trace = exchange_trace(self.spec.token).adopt();
         self.start_tick.get_or_insert(cx.now());
+        // Every step mutates this exchange's lifecycle state (listing,
+        // session, settlement) — a token-unique resource, so healthy
+        // workloads stay conflict-free while a second writer of the same
+        // exchange would trip the race detector (DESIGN.md §17).
+        cx.declare_write(
+            self.spec.shard as u32,
+            &format!("exchange/{}", self.spec.token.0),
+        );
         match std::mem::replace(&mut self.phase, Phase::Finished) {
             Phase::Init => {
                 // List the token, then route by the π_p key cache.
@@ -677,7 +685,11 @@ impl Task<MarketWorld> for MaintenanceDaemon {
         format!("maintenance-{}", self.shard)
     }
 
-    fn step(&mut self, world: &mut MarketWorld, _cx: &mut TaskCx<'_>) -> Result<Step, TaskError> {
+    fn step(&mut self, world: &mut MarketWorld, cx: &mut TaskCx<'_>) -> Result<Step, TaskError> {
+        // The daemon is the sole declared writer of its shard's block
+        // clock and repair scheduler (DESIGN.md §17).
+        cx.declare_write(self.shard as u32, &format!("chain-blocks/{}", self.shard));
+        cx.declare_write(self.shard as u32, &format!("storage-repairs/{}", self.shard));
         let shard = world.sharded.shard_mut(self.shard);
         shard.market.chain.mine_block();
         shard.market.tick_storage_repairs();
@@ -713,6 +725,9 @@ impl Task<MarketWorld> for BatcherDaemon {
     }
 
     fn step(&mut self, world: &mut MarketWorld, cx: &mut TaskCx<'_>) -> Result<Step, TaskError> {
+        // Sole declared owner of the drain side of the verify batcher
+        // (enqueues are any-order by design — DESIGN.md §17).
+        cx.declare_write(0, "verify-batcher");
         if let Some(job) = self.inflight.take() {
             let verdicts = *cx
                 .take_result::<Vec<(u64, bool)>>(job)
@@ -812,6 +827,34 @@ impl Task<MarketWorld> for SwapMachine {
     }
 
     fn step(&mut self, world: &mut MarketWorld, cx: &mut TaskCx<'_>) -> Result<Step, TaskError> {
+        // Before the contract assigns a swap id the machine's only
+        // footprint is its own offer; afterwards every step writes the
+        // id-unique swap resource (DESIGN.md §17).
+        let declared_shard = self.spec.shard as u32;
+        match &self.phase {
+            SwapPhase::Offer => {
+                cx.declare_write(declared_shard, &format!("swap-offer/{}", cx.task_id().0));
+            }
+            SwapPhase::Accept { seller_state, .. } | SwapPhase::Reveal { seller_state, .. } => {
+                cx.declare_write(
+                    declared_shard,
+                    &format!("swap/{}/{}", self.spec.shard, seller_state.swap.0),
+                );
+            }
+            SwapPhase::Finish { buyer_state } => {
+                cx.declare_write(
+                    declared_shard,
+                    &format!("swap/{}/{}", self.spec.shard, buyer_state.swap.0),
+                );
+            }
+            SwapPhase::Finalize { swap, .. } => {
+                cx.declare_write(
+                    declared_shard,
+                    &format!("swap/{}/{}", self.spec.shard, swap.0),
+                );
+            }
+            SwapPhase::Finished => {}
+        }
         match std::mem::replace(&mut self.phase, SwapPhase::Finished) {
             SwapPhase::Offer => {
                 let shard = world.sharded.shard_mut(self.spec.shard);

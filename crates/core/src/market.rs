@@ -7,7 +7,7 @@
 //! depend only on public sizes, so keys are derived once and reused — the
 //! universal-setup property the paper evaluates in Fig. 5.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rand::Rng;
@@ -52,7 +52,7 @@ pub struct DataOwner {
     pub address: Address,
     /// Storage pin identity.
     pub pin: PinOwner,
-    secrets: HashMap<TokenId, DatasetSecret>,
+    secrets: BTreeMap<TokenId, DatasetSecret>,
 }
 
 impl DataOwner {
@@ -125,7 +125,7 @@ mod metric {
 }
 
 /// Cache key for preprocessed circuit shapes.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum Shape {
     Enc(usize),
     Dup(usize),
@@ -191,9 +191,9 @@ pub struct Marketplace {
     pub(crate) keyneg_pk: Arc<ProvingKey>,
     /// Verifying key for π_k (also embedded in the verifier contract).
     pub keyneg_vk: VerifyingKey,
-    keys: HashMap<Shape, Arc<(ProvingKey, VerifyingKey)>>,
+    keys: BTreeMap<Shape, Arc<(ProvingKey, VerifyingKey)>>,
     /// Registered processing relations (§IV-D 4): formula name → vk.
-    processing_vks: HashMap<String, VerifyingKey>,
+    processing_vks: BTreeMap<String, VerifyingKey>,
     next_owner_seed: u64,
     /// How hard storage fetches fight infrastructure faults.
     retrieval_policy: RetrievalPolicy,
@@ -276,8 +276,8 @@ impl Marketplace {
             keyneg_verifier_addr,
             keyneg_pk: Arc::new(keyneg_pk),
             keyneg_vk,
-            keys: HashMap::new(),
-            processing_vks: HashMap::new(),
+            keys: BTreeMap::new(),
+            processing_vks: BTreeMap::new(),
             next_owner_seed: config.owner_seed_base.max(1),
             retrieval_policy: RetrievalPolicy::default(),
             metrics: zkdet_telemetry::Registry::new(),
@@ -400,7 +400,7 @@ impl Marketplace {
         DataOwner {
             address,
             pin: PinOwner(seed),
-            secrets: HashMap::new(),
+            secrets: BTreeMap::new(),
         }
     }
 
@@ -750,6 +750,7 @@ impl Marketplace {
         &mut self,
         cid: &zkdet_storage::Cid,
     ) -> Result<bytes::Bytes, ZkdetError> {
+        // zkdet-analyzer: allow(wall-clock) retrieval latency metric only; never feeds protocol or schedule state
         let t0 = std::time::Instant::now();
         let (bytes, stats) = self
             .storage
@@ -920,7 +921,7 @@ impl Marketplace {
         let mut verified = Vec::new();
         let mut edges = 0usize;
         let mut queue = std::collections::VecDeque::from([token]);
-        let mut seen = std::collections::HashSet::from([token]);
+        let mut seen = std::collections::BTreeSet::from([token]);
         while let Some(cur) = queue.pop_front() {
             let meta = self.chain.nft(&self.nft_addr)?.token_meta(cur)?.clone();
             let (ciphertext, bundle) = self.fetch_artefacts(cur)?;

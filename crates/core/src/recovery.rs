@@ -960,14 +960,14 @@ impl Marketplace {
 /// most recent offer without an id, or by swap id once assigned.
 fn fold_records(records: &[ExchangeRecord]) -> (Vec<(TokenId, Progress)>, Vec<SwapProgress>) {
     let mut order: Vec<TokenId> = Vec::new();
-    let mut by_token: std::collections::HashMap<TokenId, Progress> =
-        std::collections::HashMap::new();
-    let mut listing_token: std::collections::HashMap<ListingId, TokenId> =
-        std::collections::HashMap::new();
+    let mut by_token: std::collections::BTreeMap<TokenId, Progress> =
+        std::collections::BTreeMap::new();
+    let mut listing_token: std::collections::BTreeMap<ListingId, TokenId> =
+        std::collections::BTreeMap::new();
     let mut swaps: Vec<SwapProgress> = Vec::new();
 
     let touch = |order: &mut Vec<TokenId>,
-                     by_token: &mut std::collections::HashMap<TokenId, Progress>,
+                     by_token: &mut std::collections::BTreeMap<TokenId, Progress>,
                      token: TokenId|
      -> TokenId {
         by_token.entry(token).or_insert_with(|| {

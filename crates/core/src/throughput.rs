@@ -10,7 +10,7 @@
 //! into a schema-validated report. The determinism proptest reuses the
 //! same entry point with swap-heavy mixes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -148,6 +148,10 @@ pub struct LoadOutcome {
     pub schedule_digest: u64,
     /// The byte-level replay witness.
     pub replay: ReplayArtifacts,
+    /// Declared World-state accesses in step order — input to the
+    /// `zkdet_analyzer::race` happens-before checker, which the bench
+    /// and the determinism suite run as a self-gate.
+    pub accesses: Vec<zkdet_exec::AccessRecord>,
     /// Invariant violations found in the terminal state (must be empty).
     pub invariant_failures: Vec<String>,
 }
@@ -245,7 +249,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadOutcome, ZkdetError> {
 
     // Balances after setup, before the run: the paid-exactly-once check
     // works on deltas because participants are reused across exchanges.
-    let mut start_balance: HashMap<(usize, usize), Wei> = HashMap::new();
+    let mut start_balance: BTreeMap<(usize, usize), Wei> = BTreeMap::new();
     for (s, pool) in world.owners.iter().enumerate() {
         for (o, owner) in pool.iter().enumerate() {
             start_balance.insert(
@@ -305,7 +309,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadOutcome, ZkdetError> {
     // Paid exactly once, by balance delta over reused participants:
     // settled/aborted exchanges move the price buyer → seller, refunds
     // move nothing, completed swaps move their price.
-    let mut expected_delta: HashMap<(usize, usize), i128> = HashMap::new();
+    let mut expected_delta: BTreeMap<(usize, usize), i128> = BTreeMap::new();
     for r in &world.results {
         let price = r.price.unwrap_or(0) as i128;
         match r.outcome {
@@ -417,6 +421,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadOutcome, ZkdetError> {
             journals,
             timelines,
         },
+        accesses: executor.take_access_log(),
         invariant_failures: failures,
         results: world.results,
     })

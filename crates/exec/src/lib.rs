@@ -32,7 +32,7 @@ pub use pool::JobOutput;
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Identifies a spawned task within one executor.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -237,6 +237,42 @@ const EV_YIELD: u8 = 2;
 const EV_SUBMIT: u8 = 3;
 const EV_AWAIT: u8 = 4;
 const EV_DONE: u8 = 5;
+const EV_ACCESS: u8 = 6;
+
+/// Whether a declared World-state access reads or mutates the resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// The step only observes the resource.
+    Read,
+    /// The step mutates the resource.
+    Write,
+}
+
+/// One declared World-state access: which task touched which
+/// `(shard, key)` resource at which tick, and whether it wrote.
+///
+/// Tasks declare accesses through [`TaskCx::declare_read`] /
+/// [`TaskCx::declare_write`]; the race detector
+/// (`zkdet_analyzer::race`) replays the stream and reports any
+/// conflicting pair not ordered by the scheduler's happens-before
+/// relation (program order within a task, plus the tick frontier).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Simulated tick of the declaring step.
+    pub tick: u64,
+    /// Global step counter at declaration time (program order witness).
+    pub step: u64,
+    /// The declaring task.
+    pub task: u64,
+    /// The declaring task's display label (for race reports).
+    pub label: String,
+    /// Shard the resource lives on (0 for unsharded worlds).
+    pub shard: u32,
+    /// Resource key within the shard (e.g. `escrow/42`).
+    pub key: String,
+    /// `true` if the access mutates the resource.
+    pub write: bool,
+}
 
 struct PendingJob {
     done_tick: u64,
@@ -249,9 +285,14 @@ struct Sched {
     next_job: u64,
     /// Per-simulated-worker next-free tick; argmin assignment.
     sim_free: Vec<u64>,
-    pending: HashMap<u64, PendingJob>,
-    results: HashMap<u64, JobOutput>,
+    pending: BTreeMap<u64, PendingJob>,
+    results: BTreeMap<u64, JobOutput>,
     log: Vec<LogEvent>,
+    accesses: Vec<AccessRecord>,
+    /// Label of the task currently stepping (stamped by `run`).
+    current_label: String,
+    /// Global step counter at the current step (program-order witness).
+    cur_step: u64,
     jobs_run: u64,
     busy_ticks: u64,
     pool: pool::Pool,
@@ -298,6 +339,31 @@ impl Sched {
             self.pool_dead = true;
         }
         JobId(id)
+    }
+
+    fn declare(&mut self, task: TaskId, shard: u32, key: &str, write: bool) {
+        // The access also lands in the canonical schedule log, so replay
+        // byte-identity covers the declared footprint too. aux packs a
+        // 63-bit key digest with the write bit in bit 0.
+        let mut h = splitmix64(u64::from(shard) ^ 0x9e37_79b9_7f4a_7c15);
+        for b in key.as_bytes() {
+            h = splitmix64(h ^ u64::from(*b));
+        }
+        self.log.push(LogEvent {
+            tick: self.clock,
+            kind: EV_ACCESS,
+            task: task.0,
+            aux: (h & !1) | u64::from(write),
+        });
+        self.accesses.push(AccessRecord {
+            tick: self.clock,
+            step: self.cur_step,
+            task: task.0,
+            label: self.current_label.clone(),
+            shard,
+            key: key.to_string(),
+            write,
+        });
     }
 }
 
@@ -356,6 +422,21 @@ impl TaskCx<'_> {
             .remove(&job.0)
             .and_then(|b| b.downcast::<T>().ok())
     }
+
+    /// Declares that this step reads `(shard, key)` World state.
+    ///
+    /// Declared accesses feed the schedule-log race detector: any
+    /// conflicting pair (same resource, at least one write, different
+    /// tasks) not ordered by the scheduler's happens-before relation is
+    /// reported as a seed-tiebreak-dependent race.
+    pub fn declare_read(&mut self, shard: u32, key: &str) {
+        self.sched.declare(self.task, shard, key, false);
+    }
+
+    /// Declares that this step writes `(shard, key)` World state.
+    pub fn declare_write(&mut self, shard: u32, key: &str) {
+        self.sched.declare(self.task, shard, key, true);
+    }
 }
 
 struct Slot<W> {
@@ -373,7 +454,7 @@ pub struct Executor<W> {
     config: ExecConfig,
     sched: Sched,
     heap: BinaryHeap<Reverse<(u64, u64, u64, u64)>>,
-    tasks: HashMap<u64, Slot<W>>,
+    tasks: BTreeMap<u64, Slot<W>>,
     next_task: u64,
     seq: u64,
     live: usize,
@@ -391,9 +472,12 @@ impl<W> Executor<W> {
                 clock: 0,
                 next_job: 0,
                 sim_free: vec![0; config.sim_workers.max(1)],
-                pending: HashMap::new(),
-                results: HashMap::new(),
+                pending: BTreeMap::new(),
+                results: BTreeMap::new(),
                 log: Vec::new(),
+                accesses: Vec::new(),
+                current_label: String::new(),
+                cur_step: 0,
                 jobs_run: 0,
                 busy_ticks: 0,
                 pool: pool::Pool::new(config.real_threads),
@@ -401,7 +485,7 @@ impl<W> Executor<W> {
             },
             config,
             heap: BinaryHeap::new(),
-            tasks: HashMap::new(),
+            tasks: BTreeMap::new(),
             next_task: 0,
             seq: 0,
             live: 0,
@@ -496,6 +580,8 @@ impl<W> Executor<W> {
                 task: tid,
                 aux: 0,
             });
+            self.sched.current_label = slot.task.label();
+            self.sched.cur_step = self.steps;
             let mut cx = TaskCx {
                 task: TaskId(tid),
                 sched: &mut self.sched,
@@ -624,6 +710,18 @@ impl<W> Executor<W> {
     /// Number of schedule-log events so far.
     pub fn schedule_len(&self) -> usize {
         self.sched.log.len()
+    }
+
+    /// The declared World-state accesses in step order — input to the
+    /// `zkdet_analyzer::race` happens-before checker.
+    pub fn access_log(&self) -> &[AccessRecord] {
+        &self.sched.accesses
+    }
+
+    /// Takes ownership of the declared-access stream (e.g. to embed in a
+    /// load-harness outcome) leaving the executor's copy empty.
+    pub fn take_access_log(&mut self) -> Vec<AccessRecord> {
+        std::mem::take(&mut self.sched.accesses)
     }
 }
 

@@ -52,8 +52,10 @@ impl Pool {
         for _ in 0..threads {
             let rx = rx.clone();
             let done_tx = done_tx.clone();
+            // zkdet-analyzer: allow(raw-thread-spawn) this IS the sanctioned pool; completion ticks come from the simulated clock
             handles.push(std::thread::spawn(move || {
                 while let Ok(msg) = rx.recv() {
+                    // zkdet-analyzer: allow(wall-clock) job wall timing is measurement only, never scheduling
                     let t0 = Instant::now();
                     let _guard = msg.trace.map(TraceId::adopt);
                     let outcome = catch_unwind(AssertUnwindSafe(msg.f))

@@ -141,6 +141,7 @@ impl Srs {
     pub fn commit(&self, p: &DensePolynomial) -> KzgCommitment {
         match self.try_commit(p) {
             Ok(c) => c,
+            // zkdet-analyzer: allow(library-panic) documented panicking wrapper; untrusted callers use try_commit
             Err(e) => panic!("{e}"),
         }
     }

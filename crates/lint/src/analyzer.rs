@@ -17,7 +17,7 @@
 //! * a **copy class** is a union-find class of variables merged by
 //!   `assert_equal`; gate semantics see classes, not variables.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use zkdet_field::{Field, Fr, PrimeField};
 use zkdet_plonk::{CircuitBuilder, GateView};
@@ -40,7 +40,7 @@ enum GateStep {
 
 /// Evaluates gate `g` under `known` (class → forced value), treating wire
 /// variables through their copy-class representatives `rep_of`.
-fn gate_step(g: &GateView, rep_of: &[usize], known: &HashMap<usize, Fr>) -> GateStep {
+fn gate_step(g: &GateView, rep_of: &[usize], known: &BTreeMap<usize, Fr>) -> GateStep {
     let ca = rep_of[g.a.index()];
     let cb = rep_of[g.b.index()];
     let cc = rep_of[g.c.index()];
@@ -140,7 +140,7 @@ pub fn analyze(b: &CircuitBuilder) -> Analysis {
 
     // Classes in first-member order (deterministic report order).
     let mut class_members: Vec<(usize, Vec<usize>)> = Vec::new();
-    let mut class_pos: HashMap<usize, usize> = HashMap::new();
+    let mut class_pos: BTreeMap<usize, usize> = BTreeMap::new();
     for (i, rep) in rep_of.iter().enumerate() {
         match class_pos.get(rep) {
             Some(pos) => class_members[*pos].1.push(i),
@@ -251,9 +251,9 @@ pub fn analyze(b: &CircuitBuilder) -> Analysis {
     // prior knowledge (assert_constant / assert_zero / the constant()
     // allocation pattern), hence the empty map per gate. Chained
     // derivations belong to the fixpoint below, not to the pinned set.
-    let no_knowledge: HashMap<usize, Fr> = HashMap::new();
-    let mut known: HashMap<usize, Fr> = HashMap::new();
-    // (class, value) in gate order — HashMap iteration is nondeterministic,
+    let no_knowledge: BTreeMap<usize, Fr> = BTreeMap::new();
+    let mut known: BTreeMap<usize, Fr> = BTreeMap::new();
+    // (class, value) in gate order — BTreeMap iteration is nondeterministic,
     // so duplicate-constant detection walks this list instead.
     let mut pinned_in_order: Vec<(usize, Fr)> = Vec::new();
     for g in &gates {
@@ -261,7 +261,7 @@ pub fn analyze(b: &CircuitBuilder) -> Analysis {
             // Re-pinning a class (even contradictorily) is left to the
             // fixpoint: with the first value in `known`, the second pin
             // gate evaluates fully and surfaces as Satisfied/Contradiction.
-            if let std::collections::hash_map::Entry::Vacant(slot) = known.entry(class) {
+            if let std::collections::btree_map::Entry::Vacant(slot) = known.entry(class) {
                 slot.insert(value);
                 pinned_in_order.push((class, value));
             }
@@ -309,7 +309,7 @@ pub fn analyze(b: &CircuitBuilder) -> Analysis {
     // --- duplicate-constant ----------------------------------------------
     // Two distinct classes directly pinned to the same value: one cached
     // constant() allocation (plus copy constraints) would serve both.
-    let mut first_pin: HashMap<[u64; 4], usize> = HashMap::new();
+    let mut first_pin: BTreeMap<[u64; 4], usize> = BTreeMap::new();
     for (class, value) in &pinned_in_order {
         match first_pin.get(&value.to_canonical()) {
             Some(original) => findings.push(

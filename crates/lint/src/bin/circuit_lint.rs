@@ -10,8 +10,11 @@
 //! * `2` — usage error.
 //!
 //! ```text
-//! circuit_lint [--severity info|warning|error] [--out report.json]
+//! circuit_lint [--severity info|warning|error] [--json-out report.json]
 //! ```
+//!
+//! `--out` is accepted as a deprecated alias for `--json-out` (same
+//! behaviour; the flag was renamed to match `zkdet_analyzer`).
 
 // The report and summary are this binary's contract with CI; printing *is*
 // the job here, unlike in the library crates the workspace lints police.
@@ -35,7 +38,7 @@ struct Options {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: circuit_lint [--severity info|warning|error] [--out report.json]");
+    eprintln!("usage: circuit_lint [--severity info|warning|error] [--json-out report.json]");
     ExitCode::from(2)
 }
 
@@ -51,7 +54,9 @@ fn parse_args(args: &[String]) -> Result<Options, ()> {
                 let label = it.next().ok_or(())?;
                 opts.threshold = Severity::parse(label).ok_or(())?;
             }
-            "--out" => {
+            // `--out` predates the analyzer binary; both spellings write
+            // the same artefact.
+            "--json-out" | "--out" => {
                 opts.out = Some(it.next().ok_or(())?.clone());
             }
             _ => return Err(()),

@@ -5,7 +5,7 @@
 //! and wire equalities are enforced through the copy permutation σ (built
 //! here with a union-find over variables, so `assert_equal` costs no gate).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use zkdet_field::{Field, Fr, PrimeField};
 
@@ -105,7 +105,7 @@ pub struct CircuitBuilder {
     parent: Vec<usize>,
     /// Public-input variables, in exposure order.
     public_inputs: Vec<Variable>,
-    constants: HashMap<[u64; 4], Variable>,
+    constants: BTreeMap<[u64; 4], Variable>,
     zero: Variable,
 }
 
@@ -124,7 +124,7 @@ impl CircuitBuilder {
             assignments: vec![],
             parent: vec![],
             public_inputs: vec![],
-            constants: HashMap::new(),
+            constants: BTreeMap::new(),
             zero: Variable(0),
         };
         let zero = b.alloc(Fr::ZERO);

@@ -13,7 +13,7 @@
 //! written after a successful [`zkdet_plonk::Plonk::verify`] /
 //! `batch_verify` of exactly those bytes.)
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use zkdet_crypto::sha256;
@@ -23,7 +23,7 @@ use zkdet_plonk::{Proof, VerifyingKey};
 use crate::index::NodeId;
 
 /// A 32-byte SHA-256 digest of an audit artefact.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ArtefactDigest(pub [u8; 32]);
 
 impl core::fmt::Debug for ArtefactDigest {
@@ -57,7 +57,7 @@ pub fn digest_publics(publics: &[Fr]) -> ArtefactDigest {
 }
 
 /// The full lookup key of one verified check.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct AuditKey {
     /// The token the check belongs to.
     pub node: NodeId,
@@ -75,7 +75,7 @@ mod metric {
 /// Map of already-verified lineage checks.
 #[derive(Clone, Debug, Default)]
 pub struct AuditCache {
-    entries: HashMap<AuditKey, ArtefactDigest>,
+    entries: BTreeMap<AuditKey, ArtefactDigest>,
     hits: u64,
     misses: u64,
 }

@@ -2,7 +2,7 @@
 //! JSON (via the workspace's deterministic JSON codec), and an ASCII tree
 //! for terminal output.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use zkdet_field::PrimeField;
 use zkdet_telemetry::Value;
@@ -100,7 +100,7 @@ pub fn render_tree(index: &ProvenanceIndex, id: NodeId) -> Result<String, DagErr
         prefix: &str,
         is_last: bool,
         is_root: bool,
-        expanded: &mut HashSet<NodeId>,
+        expanded: &mut BTreeSet<NodeId>,
         out: &mut String,
     ) -> Result<(), DagError> {
         let connector = if is_root {
@@ -142,7 +142,7 @@ pub fn render_tree(index: &ProvenanceIndex, id: NodeId) -> Result<String, DagErr
         Ok(())
     }
     let mut out = String::new();
-    walk(index, id, "", true, true, &mut HashSet::new(), &mut out)?;
+    walk(index, id, "", true, true, &mut BTreeSet::new(), &mut out)?;
     Ok(out)
 }
 

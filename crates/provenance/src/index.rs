@@ -8,7 +8,7 @@
 //! and ancestor/descendant sets are memoised behind the query surface so
 //! repeated lineage walks (the common auditing pattern) cost one lookup.
 
-use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -102,14 +102,14 @@ mod metric {
 /// tables so any liveness-sensitive consumer re-derives.
 #[derive(Default)]
 pub struct ProvenanceIndex {
-    nodes: HashMap<NodeId, NodeRecord>,
+    nodes: BTreeMap<NodeId, NodeRecord>,
     /// Insertion order; a valid topological order by construction.
     topo: Vec<NodeId>,
     roots: BTreeSet<NodeId>,
     /// Memoised BFS ancestor lists (excluding the node itself).
-    ancestors_memo: Mutex<HashMap<NodeId, Arc<Vec<NodeId>>>>,
+    ancestors_memo: Mutex<BTreeMap<NodeId, Arc<Vec<NodeId>>>>,
     /// Memoised BFS descendant lists (excluding the node itself).
-    descendants_memo: Mutex<HashMap<NodeId, Arc<Vec<NodeId>>>>,
+    descendants_memo: Mutex<BTreeMap<NodeId, Arc<Vec<NodeId>>>>,
 }
 
 impl Clone for ProvenanceIndex {
@@ -119,8 +119,8 @@ impl Clone for ProvenanceIndex {
             topo: self.topo.clone(),
             roots: self.roots.clone(),
             // Memos restart cold; they are a cache, not state.
-            ancestors_memo: Mutex::new(HashMap::new()),
-            descendants_memo: Mutex::new(HashMap::new()),
+            ancestors_memo: Mutex::new(BTreeMap::new()),
+            descendants_memo: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -211,7 +211,7 @@ impl ProvenanceIndex {
         }
         // Dedupe the reverse edges so a repeated parent (allowed in
         // prevIds[]) does not double-link the child.
-        let mut linked = HashSet::new();
+        let mut linked = BTreeSet::new();
         for p in parents {
             if linked.insert(*p) {
                 if let Some(rec) = self.nodes.get_mut(p) {
@@ -364,7 +364,7 @@ impl ProvenanceIndex {
         zkdet_telemetry::counter_add(metric::MEMO_MISSES, 1);
         let mut out = Vec::new();
         let mut queue = VecDeque::from([id]);
-        let mut seen = HashSet::from([id]);
+        let mut seen = BTreeSet::from([id]);
         while let Some(cur) = queue.pop_front() {
             if let Some(rec) = self.nodes.get(&cur) {
                 let next = if up { &rec.parents } else { &rec.children };
@@ -392,16 +392,16 @@ impl ProvenanceIndex {
     /// [`DagError::UnknownNode`] for unindexed nodes.
     pub fn canonical_lineage(&self, id: NodeId) -> Result<Vec<NodeId>, DagError> {
         let ancestors = self.ancestors(id)?;
-        let mut members: HashSet<NodeId> = ancestors.iter().copied().collect();
+        let mut members: BTreeSet<NodeId> = ancestors.iter().copied().collect();
         members.insert(id);
 
         // In-degree restricted to the sub-DAG: every parent of a member is
         // itself a member (ancestor closure), so this is just the parent
         // count with repeated parents deduplicated.
-        let mut indeg: HashMap<NodeId, usize> = HashMap::with_capacity(members.len());
+        let mut indeg: BTreeMap<NodeId, usize> = BTreeMap::new();
         for m in &members {
             if let Some(rec) = self.nodes.get(m) {
-                let distinct: HashSet<NodeId> = rec.parents.iter().copied().collect();
+                let distinct: BTreeSet<NodeId> = rec.parents.iter().copied().collect();
                 indeg.insert(*m, distinct.len());
             }
         }

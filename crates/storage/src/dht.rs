@@ -5,7 +5,7 @@
 //! iterative lookup — while running in a single process with deterministic
 //! node identities.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -55,7 +55,7 @@ pub fn xor_distance(node: &NodeId, key: &Cid) -> [u8; 32] {
 #[derive(Clone, Debug, Default)]
 pub struct DhtNode {
     /// Blocks pinned on this node.
-    pub(crate) blocks: HashMap<Cid, Bytes>,
+    pub(crate) blocks: BTreeMap<Cid, Bytes>,
     /// Peers this node knows (the simulation keeps full views consistent,
     /// approximating converged routing tables).
     pub(crate) peers: Vec<NodeId>,

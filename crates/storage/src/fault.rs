@@ -23,7 +23,7 @@
 //! The plan is pure data: all randomness is derived from `(seed, request
 //! nonce)`, never from ambient entropy, so chaos tests replay bit-for-bit.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::dht::NodeId;
 use crate::Cid;
@@ -58,19 +58,19 @@ pub struct FaultPlan {
     /// Probability (parts per million) that any request is dropped.
     global_drop_ppm: u32,
     /// Per-node drop probability (ppm), overriding the global rate.
-    node_drop_ppm: HashMap<NodeId, u32>,
+    node_drop_ppm: BTreeMap<NodeId, u32>,
     /// Per-node request latency in clock ticks.
-    latency: HashMap<NodeId, u64>,
+    latency: BTreeMap<NodeId, u64>,
     /// Tick at which a node crashes (unreachable from then on).
-    crash_at: HashMap<NodeId, u64>,
+    crash_at: BTreeMap<NodeId, u64>,
     /// Replica copies that serve corrupted bytes.
-    corrupt: HashSet<(NodeId, Cid)>,
+    corrupt: BTreeSet<(NodeId, Cid)>,
     /// Provider records that are stale: advertised but gone.
-    stale: HashSet<(NodeId, Cid)>,
+    stale: BTreeSet<(NodeId, Cid)>,
     /// Byzantine nodes: every share they serve is corrupted.
-    byzantine: HashSet<NodeId>,
+    byzantine: BTreeSet<NodeId>,
     /// Nodes that store writes but withhold the durability ack.
-    ack_withhold: HashSet<NodeId>,
+    ack_withhold: BTreeSet<NodeId>,
 }
 
 impl FaultPlan {

@@ -13,7 +13,7 @@
 //!   attribution, and a deterministic repair scheduler restoring
 //!   redundancy after churn.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -141,9 +141,9 @@ pub struct RetrievalStats {
 }
 
 struct Inner {
-    nodes: HashMap<NodeId, DhtNode>,
+    nodes: BTreeMap<NodeId, DhtNode>,
     /// Pin ownership records.
-    owners: HashMap<Cid, PinOwner>,
+    owners: BTreeMap<Cid, PinOwner>,
     /// Adversarial test hook: corrupt a stored block in place (every
     /// replica — for single-replica corruption use
     /// [`FaultPlan::with_corrupt_replica`]).
@@ -155,11 +155,11 @@ struct Inner {
     /// Monotonic request counter feeding the fault plan's drop PRF.
     nonce: u64,
     /// Nodes that served corrupt bytes; skipped by resilient lookups.
-    quarantined: HashSet<NodeId>,
+    quarantined: BTreeSet<NodeId>,
     /// Erasure/quorum parameters; `None` = legacy full-copy replication.
     quorum: Option<QuorumConfig>,
     /// Share manifests of quorum-published blobs.
-    manifests: HashMap<Cid, ShareManifest>,
+    manifests: BTreeMap<Cid, ShareManifest>,
     /// Every CID whose publish was acknowledged (durability promised).
     acked: Vec<Cid>,
     /// Share-level tamper evidence gathered by quorum reads.
@@ -171,7 +171,7 @@ struct Inner {
     /// Per-node health counters feeding the Byzantine-suspicion score.
     /// Entries persist across [`StorageNetwork::kill_node`] — evidence
     /// against a node outlives the node.
-    health: HashMap<NodeId, NodeHealthStats>,
+    health: BTreeMap<NodeId, NodeHealthStats>,
 }
 
 impl Inner {
@@ -214,13 +214,13 @@ impl StorageNetwork {
     pub fn with_fault_plan(num_nodes: usize, plan: FaultPlan) -> Self {
         assert!(num_nodes >= 1, "network needs at least one node");
         let ids: Vec<NodeId> = (0..num_nodes as u64).map(NodeId::from_seed).collect();
-        let mut nodes = HashMap::new();
+        let mut nodes = BTreeMap::new();
         for id in &ids {
             let peers = ids.iter().filter(|p| *p != id).copied().collect();
             nodes.insert(
                 *id,
                 DhtNode {
-                    blocks: HashMap::new(),
+                    blocks: BTreeMap::new(),
                     peers,
                 },
             );
@@ -228,19 +228,19 @@ impl StorageNetwork {
         StorageNetwork {
             inner: RwLock::new(Inner {
                 nodes,
-                owners: HashMap::new(),
+                owners: BTreeMap::new(),
                 corrupted: vec![],
                 faults: plan,
                 clock: 0,
                 nonce: 0,
-                quarantined: HashSet::new(),
+                quarantined: BTreeSet::new(),
                 quorum: None,
-                manifests: HashMap::new(),
+                manifests: BTreeMap::new(),
                 acked: Vec::new(),
                 tamper_log: Vec::new(),
                 repair_queue: BTreeSet::new(),
                 next_repair_due: 0,
-                health: HashMap::new(),
+                health: BTreeMap::new(),
             }),
         }
     }
@@ -532,7 +532,7 @@ impl StorageNetwork {
         for node in inner.nodes.values_mut() {
             node.peers.retain(|p| *p != id);
         }
-        let dead_blocks: HashSet<Cid> = dead.blocks.keys().copied().collect();
+        let dead_blocks: BTreeSet<Cid> = dead.blocks.keys().copied().collect();
         let damaged: Vec<Cid> = inner
             .manifests
             .iter()
@@ -874,8 +874,8 @@ fn publish_quorum(
     let codec = cfg.codec();
     let shares = codec.encode(data);
     let manifest = ShareManifest::build(cid, &codec, data.len() as u64, &shares);
-    let mut used: HashSet<NodeId> = HashSet::new();
-    let mut ackers: HashSet<NodeId> = HashSet::new();
+    let mut used: BTreeSet<NodeId> = BTreeSet::new();
+    let mut ackers: BTreeSet<NodeId> = BTreeSet::new();
     let mut placed: Vec<(NodeId, Cid)> = Vec::new();
     for (index, share) in shares.iter().enumerate() {
         let key = manifest.share_key(index as u32);
@@ -1242,7 +1242,7 @@ fn repair_quorum(inner: &mut Inner, cid: &Cid, manifest: &ShareManifest) -> Repa
     };
     let shares = codec.encode(&data);
     // Nodes already holding a share of this blob (avoid stacking slots).
-    let mut holding: HashSet<NodeId> = HashSet::new();
+    let mut holding: BTreeSet<NodeId> = BTreeSet::new();
     for index in 0..total {
         let key = manifest.share_key(index);
         for (id, node) in &inner.nodes {

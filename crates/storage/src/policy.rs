@@ -143,7 +143,7 @@ mod tests {
             }
         }
         // Different salts must actually vary the wait somewhere.
-        let spread: std::collections::HashSet<u64> =
+        let spread: std::collections::BTreeSet<u64> =
             (0..64u64).map(|s| p.backoff_with_jitter(0, s)).collect();
         assert!(spread.len() > 1, "jitter never varied");
     }

@@ -69,6 +69,7 @@ pub fn attribute(spans: &[SpanRecord]) -> Vec<Attribution> {
         row.total += s.duration;
         row.self_time += selfs.get(&s.id).copied().unwrap_or(0);
     }
+    // zkdet-analyzer: allow(unordered-iteration) aggregation keyed for lookup; rows are sorted before render
     let mut rows: Vec<Attribution> = by_name.into_values().collect();
     rows.sort_by(|a, b| b.self_time.cmp(&a.self_time).then(a.name.cmp(b.name)));
     rows
@@ -140,6 +141,7 @@ pub fn collapsed_stacks(spans: &[SpanRecord]) -> String {
         let line = path.join(";");
         *stacks.entry(line).or_insert(0) += selfs.get(&s.id).copied().unwrap_or(0);
     }
+    // zkdet-analyzer: allow(unordered-iteration) aggregation keyed for lookup; lines are sorted before export
     let mut lines: Vec<(String, u64)> = stacks.into_iter().collect();
     lines.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out = String::new();

@@ -70,6 +70,7 @@ impl Recorder {
         Recorder {
             finished: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
+            // zkdet-analyzer: allow(wall-clock) span wall timestamps are observability-only; replay state never reads them
             epoch: Instant::now(),
             clock_mode: AtomicU8::new(CLOCK_WALL),
             manual_now: AtomicU64::new(0),

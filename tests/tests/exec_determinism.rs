@@ -79,6 +79,17 @@ proptest! {
         prop_assert_eq!(first.aborted, second.aborted);
         prop_assert_eq!(first.swaps_completed, second.swaps_completed);
         prop_assert_eq!(first.latency_ticks, second.latency_ticks);
+
+        // Race self-gate (DESIGN.md §17): byte-identical replay proves
+        // determinism under THIS seed; the happens-before check over the
+        // declared access sets proves no conflicting pair was ordered by
+        // the seed tiebreak alone.
+        let race = zkdet_analyzer::check_accesses(&first.accesses);
+        prop_assert!(
+            race.is_clean(),
+            "race detector found conflicting unordered accesses: {:?}",
+            race.conflicts
+        );
     }
 }
 
